@@ -1,0 +1,59 @@
+// Figure 3 — cache hit ratio of FPA as a function of max_strength for
+// weight p in {0, 0.3, 0.7, 1.0}, on all four traces.
+//
+// Paper expectation: p = 0.7 achieves the highest hit ratios; INS sits far
+// above the other traces; LLNL lowest band.
+#include <vector>
+
+#include "bench_util.hpp"
+#include "common/parallel.hpp"
+
+int main() {
+  using namespace farmer;
+  using namespace farmer::bench;
+
+  print_experiment_header(
+      std::cout, "Figure 3",
+      "FPA cache hit ratio vs max_strength for p in {0, 0.3, 0.7, 1}",
+      "p = 0.7 highest curve on every trace; hit-ratio bands: "
+      "INS >> HP > RES > LLNL");
+
+  const double kPs[] = {0.0, 0.3, 0.7, 1.0};
+  const double kStrengths[] = {0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8};
+
+  for (const TraceKind kind : kAllKinds) {
+    const Trace& trace = paper_trace(kind);
+    const ReplayConfig rc = replay_config(trace);
+
+    // Flatten the (p, max_strength) grid and sweep it in parallel — each
+    // cell is an independent replay over the shared immutable trace.
+    struct Cell {
+      double p, strength, hit = 0;
+    };
+    std::vector<Cell> grid;
+    for (const double p : kPs)
+      for (const double s : kStrengths) grid.push_back({p, s});
+    parallel_for(grid.size(), [&](std::size_t i) {
+      FarmerConfig cfg = fpa_config(trace);
+      cfg.p = grid[i].p;
+      cfg.max_strength = grid[i].strength;
+      FpaPredictor fpa(cfg, trace.dict);
+      grid[i].hit = replay_trace(trace, fpa, rc).hit_ratio();
+    });
+
+    Table table({"max_strength", "p=0 (Nexus-like)", "p=0.3", "p=0.7",
+                 "p=1 (semantic only)"});
+    for (const double s : kStrengths) {
+      std::vector<std::string> row{fmt_double(s, 1)};
+      for (const double p : kPs) {
+        for (const Cell& c : grid)
+          if (c.p == p && c.strength == s) row.push_back(pct(c.hit));
+      }
+      table.add_row(std::move(row));
+    }
+    std::cout << "\n" << trace_kind_name(kind) << " (cache "
+              << rc.cache_capacity << " entries):\n";
+    table.print(std::cout);
+  }
+  return 0;
+}

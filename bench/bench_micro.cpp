@@ -1,0 +1,152 @@
+// Micro-benchmarks (google-benchmark): the per-operation costs behind
+// FARMER's "reasonable overhead" claim — similarity evaluation, graph
+// updates, full pipeline ingest, predictor prediction, cache and B+tree
+// operations.
+#include <benchmark/benchmark.h>
+
+#include "bench_util.hpp"
+#include "common/rng.hpp"
+#include "cache/metadata_cache.hpp"
+#include "kvstore/btree.hpp"
+#include "vsm/similarity.hpp"
+
+namespace {
+
+using namespace farmer;
+using namespace farmer::bench;
+
+const Trace& hp() { return paper_trace(TraceKind::kHP); }
+
+void BM_SimilarityIPA(benchmark::State& state) {
+  Interner in;
+  SemanticVector a, b;
+  a.user = in.intern("user1");
+  a.process = in.intern("p1");
+  a.host = in.intern("host1");
+  intern_path_components("/home/user1/paper/a", in, a.path_components);
+  b.user = in.intern("user1");
+  b.process = in.intern("p2");
+  b.host = in.intern("host1");
+  intern_path_components("/home/user1/paper/b", in, b.path_components);
+  const auto mask = AttributeMask::all_with_path();
+  const Signature sa = build_signature(a, mask, PathMode::kIntegrated);
+  const Signature sb = build_signature(b, mask, PathMode::kIntegrated);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(similarity(sa, sb));
+  }
+}
+BENCHMARK(BM_SimilarityIPA);
+
+void BM_BuildSignature(benchmark::State& state) {
+  Interner in;
+  SemanticVector a;
+  a.user = in.intern("user1");
+  a.process = in.intern("p1");
+  a.host = in.intern("host1");
+  intern_path_components("/home/user1/paper/deep/dir/tree/a", in,
+                         a.path_components);
+  const auto mask = AttributeMask::all_with_path();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        build_signature(a, mask, PathMode::kIntegrated));
+  }
+}
+BENCHMARK(BM_BuildSignature);
+
+void BM_GraphTransition(benchmark::State& state) {
+  CorrelationGraph g;
+  Rng rng(1);
+  std::uint32_t i = 0;
+  for (auto _ : state) {
+    const FileId pred(i % 4096);
+    const FileId succ(static_cast<std::uint32_t>(rng.next_below(4096)));
+    g.record_access(pred);
+    benchmark::DoNotOptimize(g.add_transition(pred, succ, 1.0));
+    ++i;
+  }
+}
+BENCHMARK(BM_GraphTransition);
+
+void BM_FarmerObserve(benchmark::State& state) {
+  const Trace& trace = hp();
+  Farmer model(fpa_config(trace), trace.dict);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    model.observe(trace.records[i % trace.records.size()]);
+    ++i;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_FarmerObserve);
+
+void BM_FpaPredict(benchmark::State& state) {
+  const Trace& trace = hp();
+  FpaPredictor fpa(fpa_config(trace), trace.dict);
+  for (const auto& r : trace.records) fpa.observe(r);
+  std::size_t i = 0;
+  PredictionList out;
+  for (auto _ : state) {
+    out.clear();
+    fpa.predict(trace.records[i % trace.records.size()], 4, out);
+    benchmark::DoNotOptimize(out.size());
+    ++i;
+  }
+}
+BENCHMARK(BM_FpaPredict);
+
+void BM_NexusObserve(benchmark::State& state) {
+  const Trace& trace = hp();
+  NexusPredictor nexus;
+  std::size_t i = 0;
+  for (auto _ : state) {
+    nexus.observe(trace.records[i % trace.records.size()]);
+    ++i;
+  }
+}
+BENCHMARK(BM_NexusObserve);
+
+void BM_CacheAccess(benchmark::State& state) {
+  MetadataCache cache(4096, CachePolicy::kLRU);
+  Rng rng(7);
+  for (auto _ : state) {
+    const FileId f(static_cast<std::uint32_t>(rng.next_below(8192)));
+    if (!cache.access(f)) cache.insert_demand(f);
+  }
+}
+BENCHMARK(BM_CacheAccess);
+
+void BM_BTreeGet(benchmark::State& state) {
+  BTreeStore t;
+  for (std::uint64_t k = 0; k < 100000; ++k) t.put(k, "metadata-blob");
+  Rng rng(3);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(t.get(rng.next_below(100000)));
+  }
+}
+BENCHMARK(BM_BTreeGet);
+
+void BM_BTreePut(benchmark::State& state) {
+  BTreeStore t;
+  std::uint64_t k = 0;
+  for (auto _ : state) {
+    t.put(k++, "metadata-blob");
+  }
+}
+BENCHMARK(BM_BTreePut);
+
+void BM_EndToEndReplay(benchmark::State& state) {
+  // Whole-pipeline throughput: events per second through FPA + cache.
+  const Trace& trace = hp();
+  for (auto _ : state) {
+    FpaPredictor fpa(fpa_config(trace), trace.dict);
+    const auto r = replay_trace(trace, fpa, replay_config(trace));
+    benchmark::DoNotOptimize(r.hit_ratio());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(trace.event_count()));
+}
+BENCHMARK(BM_EndToEndReplay)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

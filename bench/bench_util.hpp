@@ -1,0 +1,57 @@
+// Shared helpers for the reproduction benches.
+//
+// Every bench regenerates its tables from the same seed and scale so rows
+// are comparable across binaries. Traces are cached per process.
+#pragma once
+
+#include <iostream>
+#include <map>
+#include <string>
+
+#include "analysis/experiment.hpp"
+#include "analysis/table.hpp"
+#include "core/config.hpp"
+#include "prefetch/fpa.hpp"
+#include "prefetch/nexus.hpp"
+#include "prefetch/replay.hpp"
+#include "trace/generator.hpp"
+
+namespace farmer::bench {
+
+/// Experiment scale: fraction of the full synthetic volume. Chosen so the
+/// whole bench suite completes in minutes on a laptop while keeping every
+/// trace large enough for stable ratios.
+inline constexpr double kScale = 0.25;
+
+inline const Trace& paper_trace(TraceKind kind) {
+  static std::map<TraceKind, Trace> cache;
+  auto it = cache.find(kind);
+  if (it == cache.end())
+    it = cache.emplace(kind, make_paper_trace(kind, kExperimentSeed, kScale))
+             .first;
+  return it->second;
+}
+
+inline const TraceKind kAllKinds[] = {TraceKind::kLLNL, TraceKind::kINS,
+                                      TraceKind::kRES, TraceKind::kHP};
+
+/// FARMER configuration matched to a trace's attribute availability.
+inline FarmerConfig fpa_config(const Trace& trace) {
+  FarmerConfig cfg;
+  cfg.attributes = trace.has_paths ? AttributeMask::all_with_path()
+                                   : AttributeMask::all_with_fileid();
+  return cfg;
+}
+
+inline ReplayConfig replay_config(const Trace& trace) {
+  ReplayConfig rc;
+  rc.cache_capacity = default_cache_capacity(trace);
+  rc.prefetch_degree = kDefaultPrefetchDegree;
+  return rc;
+}
+
+inline std::string pct(double ratio, int precision = 2) {
+  return fmt_double(ratio * 100.0, precision) + "%";
+}
+
+}  // namespace farmer::bench

@@ -1,0 +1,113 @@
+// Metadata-server prefetching shoot-out: FPA vs the full baseline zoo on a
+// chosen paper trace, reporting hit ratio, prefetch accuracy, pollution and
+// DES response time.
+//
+//   ./metadata_prefetching [LLNL|INS|RES|HP] [scale]
+#include <cstdlib>
+#include <iostream>
+#include <memory>
+#include <string>
+
+#include "analysis/experiment.hpp"
+#include "analysis/table.hpp"
+#include "prefetch/fpa.hpp"
+#include "prefetch/nexus.hpp"
+#include "prefetch/probability_graph.hpp"
+#include "prefetch/replay.hpp"
+#include "prefetch/sd_graph.hpp"
+#include "prefetch/successor.hpp"
+#include "storage/cluster.hpp"
+#include "trace/generator.hpp"
+
+namespace {
+
+farmer::TraceKind parse_kind(const std::string& s) {
+  using farmer::TraceKind;
+  if (s == "LLNL") return TraceKind::kLLNL;
+  if (s == "INS") return TraceKind::kINS;
+  if (s == "RES") return TraceKind::kRES;
+  return TraceKind::kHP;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace farmer;
+  const TraceKind kind = parse_kind(argc > 1 ? argv[1] : "HP");
+  const double scale = argc > 2 ? std::strtod(argv[2], nullptr) : 0.25;
+
+  const Trace trace = make_paper_trace(kind, kExperimentSeed, scale);
+  const std::size_t capacity = default_cache_capacity(trace);
+  std::cout << "trace " << trace_kind_name(kind) << ": "
+            << trace.event_count() << " events, " << trace.file_count()
+            << " files, cache " << capacity << " entries\n";
+
+  FarmerConfig fpa_cfg;
+  fpa_cfg.attributes = trace.has_paths ? AttributeMask::all_with_path()
+                                       : AttributeMask::all_with_fileid();
+
+  // The contenders. FPA and the paper's baselines plus the wider zoo.
+  struct Entry {
+    std::string name;
+    std::unique_ptr<Predictor> predictor;
+  };
+  std::vector<Entry> entries;
+  entries.push_back({"FPA", std::make_unique<FpaPredictor>(fpa_cfg,
+                                                           trace.dict)});
+  entries.push_back({"Nexus", std::make_unique<NexusPredictor>()});
+  entries.push_back({"ProbGraph",
+                     std::make_unique<ProbabilityGraphPredictor>()});
+  entries.push_back({"SDGraph", std::make_unique<SdGraphPredictor>()});
+  entries.push_back({"LS", std::make_unique<LastSuccessorPredictor>()});
+  entries.push_back({"FS", std::make_unique<FirstSuccessorPredictor>()});
+  entries.push_back(
+      {"RecentPop", std::make_unique<RecentPopularityPredictor>()});
+  entries.push_back({"PBS",
+                     std::make_unique<ContextualLastSuccessorPredictor>(
+                         ContextualLastSuccessorPredictor::Mode::kProgram)});
+  entries.push_back(
+      {"PULS", std::make_unique<ContextualLastSuccessorPredictor>(
+                   ContextualLastSuccessorPredictor::Mode::kProgramUser)});
+  entries.push_back({"LRU (no prefetch)",
+                     std::make_unique<NoopPredictor>()});
+
+  ReplayConfig rc;
+  rc.cache_capacity = capacity;
+  rc.prefetch_degree = kDefaultPrefetchDegree;
+
+  Table table({"algorithm", "hit ratio", "accuracy", "pollution",
+               "footprint"});
+  for (auto& e : entries) {
+    const auto r = replay_trace(trace, *e.predictor, rc);
+    table.add_row({e.name, fmt_double(r.hit_ratio() * 100, 2) + "%",
+                   fmt_double(r.prefetch_accuracy() * 100, 2) + "%",
+                   fmt_double(r.cache.pollution_ratio() * 100, 2) + "%",
+                   fmt_bytes(r.predictor_footprint)});
+  }
+  std::cout << "\nzero-latency replay (policy effects only):\n";
+  table.print(std::cout);
+
+  // DES response-time comparison for the paper's three contenders.
+  std::cout << "\ndiscrete-event MDS replay (latency effects):\n";
+  Table rt({"algorithm", "mean RT", "p95 RT", "prefetch batches"});
+  ClusterConfig cc;
+  cc.mds.cache_capacity = capacity;
+  cc.mds.prefetch_degree = kDefaultPrefetchDegree;
+  for (const auto& name : {std::string("FPA"), std::string("Nexus"),
+                           std::string("LRU (no prefetch)")}) {
+    std::unique_ptr<Predictor> p;
+    if (name == "FPA")
+      p = std::make_unique<FpaPredictor>(fpa_cfg, trace.dict);
+    else if (name == "Nexus")
+      p = std::make_unique<NexusPredictor>();
+    else
+      p = std::make_unique<NoopPredictor>();
+    const auto m = run_cluster(trace, *p, cc);
+    rt.add_row({name, fmt_double(m.mean_response_ms(), 3) + " ms",
+                fmt_double(static_cast<double>(m.response.p95()) / 1000.0, 3) +
+                    " ms",
+                std::to_string(m.prefetch_batches)});
+  }
+  rt.print(std::cout);
+  return 0;
+}

@@ -1,0 +1,104 @@
+#include "analysis/interfile_prob.hpp"
+
+#include <unordered_map>
+
+#include "common/hash.hpp"
+
+namespace farmer {
+
+namespace {
+
+/// Key identifying the attribute-value substream a record belongs to.
+std::uint64_t substream_key(const TraceRecord& rec, AttributeMask mask,
+                            const TraceDictionary& dict) {
+  std::uint64_t key = 0x9E3779B97F4A7C15ull;
+  if (mask.has(Attribute::kUser))
+    key = mix64(key ^ rec.user_token.value());
+  if (mask.has(Attribute::kProcess))
+    key = mix64(key ^ rec.process_token.value());
+  if (mask.has(Attribute::kHost))
+    key = mix64(key ^ rec.host_token.value());
+  // Path / FileId partition by directory/device *locality*, not by the file
+  // itself (a per-file substream would be degenerate: every transition a
+  // self-transition). Paths hash their parent-directory components; file
+  // ids use the device token.
+  if (mask.has(Attribute::kPath) && rec.path.valid()) {
+    const auto& comps = dict.path_components(rec.path);
+    for (std::size_t i = 0; i + 1 < comps.size(); ++i)
+      key = mix64(key ^ comps[i].value());
+  }
+  if (mask.has(Attribute::kFileId)) key = mix64(key ^ rec.dev_token.value());
+  return key;
+}
+
+}  // namespace
+
+std::vector<InterfileProbRow> interfile_access_probability(
+    const Trace& trace, const std::vector<AttributeCombination>& masks) {
+  std::vector<InterfileProbRow> rows;
+  rows.reserve(masks.size());
+
+  for (const auto& combo : masks) {
+    // First pass: per-substream successor counts c(A,B) and c(A).
+    std::unordered_map<std::uint64_t, FileId> prev_in_stream;
+    std::unordered_map<std::pair<std::uint64_t, std::uint64_t>, double,
+                       PairHash>
+        pair_count;  // ((stream, A<<32|B)) -> count
+    std::unordered_map<std::pair<std::uint64_t, std::uint64_t>, double,
+                       PairHash>
+        pred_count;  // ((stream, A)) -> count
+    std::uint64_t transitions = 0;
+
+    for (const TraceRecord& rec : trace.records) {
+      const std::uint64_t stream =
+          combo.mask.empty() ? 0
+                             : substream_key(rec, combo.mask, *trace.dict);
+      auto it = prev_in_stream.find(stream);
+      if (it != prev_in_stream.end() && it->second != rec.file) {
+        const std::uint64_t a = it->second.value();
+        const std::uint64_t b = rec.file.value();
+        pair_count[{stream, (a << 32) | b}] += 1.0;
+        pred_count[{stream, a}] += 1.0;
+        ++transitions;
+      }
+      prev_in_stream[stream] = rec.file;
+    }
+
+    // Second pass over the aggregates: expected conditional probability of
+    // the observed transition = sum c(A,B)^2 / c(A) / #transitions.
+    double numer = 0.0;
+    for (const auto& [key, cab] : pair_count) {
+      const auto a = key.second >> 32;
+      const double ca = pred_count[{key.first, a}];
+      numer += cab * cab / ca;
+    }
+    InterfileProbRow row;
+    row.label = combo.label;
+    row.mask = combo.mask;
+    row.transitions = transitions;
+    row.probability =
+        transitions > 0 ? numer / static_cast<double>(transitions) : 0.0;
+    rows.push_back(std::move(row));
+  }
+  return rows;
+}
+
+std::vector<AttributeCombination> figure1_combinations(bool use_path) {
+  const Attribute loc = use_path ? Attribute::kPath : Attribute::kFileId;
+  const std::string loc_name = attribute_name(loc);
+  using A = Attribute;
+  std::vector<AttributeCombination> rows;
+  rows.push_back({"none", AttributeMask{}});
+  rows.push_back({"{uid}", AttributeMask{A::kUser}});
+  rows.push_back({"{pid}", AttributeMask{A::kProcess}});
+  rows.push_back({"{host}", AttributeMask{A::kHost}});
+  rows.push_back({"{" + loc_name + "}", AttributeMask{} | loc});
+  rows.push_back({"{uid, pid}", AttributeMask{A::kUser, A::kProcess}});
+  rows.push_back(
+      {"{uid, " + loc_name + "}", AttributeMask{A::kUser} | loc});
+  rows.push_back({"{uid, pid, host, " + loc_name + "}",
+                  AttributeMask{A::kUser, A::kProcess, A::kHost} | loc});
+  return rows;
+}
+
+}  // namespace farmer

@@ -1,0 +1,71 @@
+#include "cache/metadata_cache.hpp"
+
+#include <cassert>
+
+namespace farmer {
+
+MetadataCache::MetadataCache(std::size_t capacity, CachePolicy policy)
+    : capacity_(capacity == 0 ? 1 : capacity), policy_(make_policy(policy)) {
+  if (auto* arc = dynamic_cast<ArcPolicy*>(policy_.get()))
+    arc->set_capacity(capacity_);
+  resident_.reserve(capacity_ * 2);
+}
+
+bool MetadataCache::access(FileId f) {
+  auto it = resident_.find(f);
+  if (it == resident_.end()) {
+    stats_.demand.miss();
+    return false;
+  }
+  if (it->second) {  // first demand hit on a prefetched entry
+    ++stats_.prefetch_used;
+    it->second = false;
+  }
+  stats_.demand.hit();
+  policy_->on_access(f);
+  return true;
+}
+
+void MetadataCache::insert_demand(FileId f) {
+  if (resident_.count(f)) return;
+  evict_if_full();
+  resident_.emplace(f, false);
+  policy_->on_insert(f);
+}
+
+bool MetadataCache::insert_prefetch(FileId f) {
+  if (resident_.count(f)) return false;
+  evict_if_full();
+  resident_.emplace(f, true);
+  policy_->on_insert(f);
+  ++stats_.prefetch_inserted;
+  return true;
+}
+
+bool MetadataCache::contains(FileId f) const noexcept {
+  return resident_.count(f) != 0;
+}
+
+void MetadataCache::erase(FileId f) {
+  auto it = resident_.find(f);
+  if (it == resident_.end()) return;
+  if (it->second) ++stats_.prefetch_evicted_unused;
+  resident_.erase(it);
+  policy_->on_erase(f);
+}
+
+void MetadataCache::evict_if_full() {
+  while (resident_.size() >= capacity_) {
+    const auto victim = policy_->victim();
+    assert(victim.has_value());
+    if (!victim) return;  // defensive: drop capacity enforcement over UB
+    auto it = resident_.find(*victim);
+    assert(it != resident_.end());
+    if (it->second) ++stats_.prefetch_evicted_unused;
+    resident_.erase(it);
+    policy_->on_erase(*victim);
+    ++stats_.evictions;
+  }
+}
+
+}  // namespace farmer

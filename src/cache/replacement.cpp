@@ -1,0 +1,265 @@
+#include "cache/replacement.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace farmer {
+
+const char* cache_policy_name(CachePolicy p) noexcept {
+  switch (p) {
+    case CachePolicy::kLRU:
+      return "LRU";
+    case CachePolicy::kLFU:
+      return "LFU";
+    case CachePolicy::kCLOCK:
+      return "CLOCK";
+    case CachePolicy::kARC:
+      return "ARC";
+  }
+  return "?";
+}
+
+std::unique_ptr<ReplacementPolicy> make_policy(CachePolicy p) {
+  switch (p) {
+    case CachePolicy::kLRU:
+      return std::make_unique<LruPolicy>();
+    case CachePolicy::kLFU:
+      return std::make_unique<LfuPolicy>();
+    case CachePolicy::kCLOCK:
+      return std::make_unique<ClockPolicy>();
+    case CachePolicy::kARC:
+      return std::make_unique<ArcPolicy>();
+  }
+  return nullptr;
+}
+
+// ---------------------------------------------------------------- LRU ----
+
+void LruPolicy::on_access(FileId key) {
+  auto it = where_.find(key);
+  if (it == where_.end()) return;
+  order_.splice(order_.begin(), order_, it->second);
+}
+
+void LruPolicy::on_insert(FileId key) {
+  assert(!where_.count(key));
+  order_.push_front(key);
+  where_[key] = order_.begin();
+}
+
+void LruPolicy::on_erase(FileId key) {
+  auto it = where_.find(key);
+  if (it == where_.end()) return;
+  order_.erase(it->second);
+  where_.erase(it);
+}
+
+std::optional<FileId> LruPolicy::victim() {
+  if (order_.empty()) return std::nullopt;
+  return order_.back();
+}
+
+// ---------------------------------------------------------------- LFU ----
+
+void LfuPolicy::bump(FileId key, Entry& e) {
+  auto& old_bucket = buckets_[e.freq];
+  old_bucket.erase(e.pos);
+  if (old_bucket.empty()) {
+    buckets_.erase(e.freq);
+    if (min_freq_ == e.freq) ++min_freq_;
+  }
+  ++e.freq;
+  auto& bucket = buckets_[e.freq];
+  bucket.push_front(key);
+  e.pos = bucket.begin();
+}
+
+void LfuPolicy::on_access(FileId key) {
+  auto it = entries_.find(key);
+  if (it == entries_.end()) return;
+  bump(key, it->second);
+}
+
+void LfuPolicy::on_insert(FileId key) {
+  assert(!entries_.count(key));
+  auto& bucket = buckets_[1];
+  bucket.push_front(key);
+  entries_[key] = {1, bucket.begin()};
+  min_freq_ = 1;
+}
+
+void LfuPolicy::on_erase(FileId key) {
+  auto it = entries_.find(key);
+  if (it == entries_.end()) return;
+  auto& bucket = buckets_[it->second.freq];
+  bucket.erase(it->second.pos);
+  if (bucket.empty()) buckets_.erase(it->second.freq);
+  entries_.erase(it);
+}
+
+std::optional<FileId> LfuPolicy::victim() {
+  if (entries_.empty()) return std::nullopt;
+  auto it = buckets_.find(min_freq_);
+  while (it == buckets_.end()) {
+    ++min_freq_;  // min bucket emptied by erase; advance lazily
+    if (min_freq_ > entries_.size() * 64 + 64) return std::nullopt;
+    it = buckets_.find(min_freq_);
+  }
+  return it->second.back();  // LRU within the minimum-frequency bucket
+}
+
+// -------------------------------------------------------------- CLOCK ----
+
+void ClockPolicy::on_access(FileId key) {
+  auto it = where_.find(key);
+  if (it == where_.end()) return;
+  frames_[it->second].referenced = true;
+}
+
+void ClockPolicy::on_insert(FileId key) {
+  assert(!where_.count(key));
+  // Reuse a dead frame if one exists at/after the hand; else append.
+  for (std::size_t scanned = 0; scanned < frames_.size(); ++scanned) {
+    std::size_t i = (hand_ + scanned) % frames_.size();
+    if (!frames_[i].live) {
+      frames_[i] = {key, true, true};
+      where_[key] = i;
+      return;
+    }
+  }
+  frames_.push_back({key, true, true});
+  where_[key] = frames_.size() - 1;
+}
+
+void ClockPolicy::on_erase(FileId key) {
+  auto it = where_.find(key);
+  if (it == where_.end()) return;
+  frames_[it->second].live = false;
+  where_.erase(it);
+}
+
+std::optional<FileId> ClockPolicy::victim() {
+  if (where_.empty()) return std::nullopt;
+  // Classic second chance: clear reference bits until an unreferenced live
+  // frame is found. Bounded by two sweeps.
+  for (std::size_t scanned = 0; scanned < frames_.size() * 2; ++scanned) {
+    Frame& f = frames_[hand_];
+    hand_ = (hand_ + 1) % frames_.size();
+    if (!f.live) continue;
+    if (f.referenced) {
+      f.referenced = false;
+    } else {
+      return f.key;
+    }
+  }
+  // Every frame referenced: fall back to the frame under the hand.
+  for (std::size_t scanned = 0; scanned < frames_.size(); ++scanned) {
+    Frame& f = frames_[(hand_ + scanned) % frames_.size()];
+    if (f.live) return f.key;
+  }
+  return std::nullopt;
+}
+
+// ---------------------------------------------------------------- ARC ----
+
+std::list<FileId>& ArcPolicy::list_of(Where w) {
+  switch (w) {
+    case Where::kT1:
+      return t1_;
+    case Where::kT2:
+      return t2_;
+    case Where::kB1:
+      return b1_;
+    case Where::kB2:
+      return b2_;
+  }
+  return t1_;
+}
+
+void ArcPolicy::move_to(FileId key, Entry& e, Where dst) {
+  list_of(e.where).erase(e.pos);
+  auto& dl = list_of(dst);
+  dl.push_front(key);
+  e.where = dst;
+  e.pos = dl.begin();
+}
+
+void ArcPolicy::trim_ghosts() {
+  const std::size_t cap = std::max<std::size_t>(capacity_, 1);
+  while (b1_.size() > cap) {
+    entries_.erase(b1_.back());
+    b1_.pop_back();
+  }
+  while (b2_.size() > cap) {
+    entries_.erase(b2_.back());
+    b2_.pop_back();
+  }
+}
+
+void ArcPolicy::on_access(FileId key) {
+  auto it = entries_.find(key);
+  if (it == entries_.end()) return;
+  Entry& e = it->second;
+  if (e.where == Where::kT1 || e.where == Where::kT2) {
+    move_to(key, e, Where::kT2);  // promoted: seen at least twice
+  }
+  // Ghost hits are handled on insert (the caller re-inserts after a miss).
+}
+
+void ArcPolicy::on_insert(FileId key) {
+  const double cap = static_cast<double>(std::max<std::size_t>(capacity_, 1));
+  auto it = entries_.find(key);
+  if (it != entries_.end()) {
+    Entry& e = it->second;
+    if (e.where == Where::kB1) {
+      // Ghost hit in B1: recency list too small -> grow p.
+      const double delta =
+          std::max(1.0, static_cast<double>(b2_.size()) /
+                            std::max<std::size_t>(b1_.size(), 1));
+      p_ = std::min(cap, p_ + delta);
+      move_to(key, e, Where::kT2);
+      return;
+    }
+    if (e.where == Where::kB2) {
+      // Ghost hit in B2: frequency list too small -> shrink p.
+      const double delta =
+          std::max(1.0, static_cast<double>(b1_.size()) /
+                            std::max<std::size_t>(b2_.size(), 1));
+      p_ = std::max(0.0, p_ - delta);
+      move_to(key, e, Where::kT2);
+      return;
+    }
+    return;  // already resident
+  }
+  t1_.push_front(key);
+  entries_[key] = {Where::kT1, t1_.begin()};
+  trim_ghosts();
+}
+
+void ArcPolicy::on_erase(FileId key) {
+  auto it = entries_.find(key);
+  if (it == entries_.end()) return;
+  Entry& e = it->second;
+  // Residents demote to the matching ghost list (ARC's REPLACE); ghosts
+  // vanish entirely.
+  if (e.where == Where::kT1) {
+    move_to(key, e, Where::kB1);
+    trim_ghosts();
+  } else if (e.where == Where::kT2) {
+    move_to(key, e, Where::kB2);
+    trim_ghosts();
+  } else {
+    list_of(e.where).erase(e.pos);
+    entries_.erase(it);
+  }
+}
+
+std::optional<FileId> ArcPolicy::victim() {
+  if (t1_.empty() && t2_.empty()) return std::nullopt;
+  const bool from_t1 =
+      !t1_.empty() &&
+      (static_cast<double>(t1_.size()) > p_ || t2_.empty());
+  return from_t1 ? t1_.back() : t2_.back();
+}
+
+}  // namespace farmer

@@ -1,0 +1,130 @@
+// Replacement policies for the metadata cache.
+//
+// LRU is the paper's baseline replacement policy; LFU, CLOCK and ARC are
+// provided both as extensions and as sanity baselines for the ablation
+// benches. All policies share one interface so the metadata cache and the
+// MDS are policy-agnostic.
+#pragma once
+
+#include <cstddef>
+#include <list>
+#include <memory>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace farmer {
+
+enum class CachePolicy { kLRU, kLFU, kCLOCK, kARC };
+
+[[nodiscard]] const char* cache_policy_name(CachePolicy p) noexcept;
+
+/// Pure replacement state machine over FileId keys. Capacity is enforced by
+/// the caller via `evict()`; policies only pick victims and track recency/
+/// frequency. All operations are O(1) amortized except LFU's victim scan,
+/// which is O(distinct frequencies) via frequency buckets.
+class ReplacementPolicy {
+ public:
+  virtual ~ReplacementPolicy() = default;
+
+  /// Notes an access (hit) on a resident key.
+  virtual void on_access(FileId key) = 0;
+  /// Notes an insertion of a new resident key.
+  virtual void on_insert(FileId key) = 0;
+  /// Notes a removal (by eviction or invalidation) of a resident key.
+  virtual void on_erase(FileId key) = 0;
+  /// Picks the victim the policy would evict next (does not remove it).
+  [[nodiscard]] virtual std::optional<FileId> victim() = 0;
+  [[nodiscard]] virtual const char* name() const noexcept = 0;
+};
+
+[[nodiscard]] std::unique_ptr<ReplacementPolicy> make_policy(CachePolicy p);
+
+/// Strict-LRU via intrusive list + index map.
+class LruPolicy final : public ReplacementPolicy {
+ public:
+  void on_access(FileId key) override;
+  void on_insert(FileId key) override;
+  void on_erase(FileId key) override;
+  [[nodiscard]] std::optional<FileId> victim() override;
+  [[nodiscard]] const char* name() const noexcept override { return "LRU"; }
+
+ private:
+  std::list<FileId> order_;  // front = MRU
+  std::unordered_map<FileId, std::list<FileId>::iterator> where_;
+};
+
+/// LFU with frequency buckets (O(1) all ops); ties broken by LRU within the
+/// lowest-frequency bucket.
+class LfuPolicy final : public ReplacementPolicy {
+ public:
+  void on_access(FileId key) override;
+  void on_insert(FileId key) override;
+  void on_erase(FileId key) override;
+  [[nodiscard]] std::optional<FileId> victim() override;
+  [[nodiscard]] const char* name() const noexcept override { return "LFU"; }
+
+ private:
+  struct Entry {
+    std::uint64_t freq;
+    std::list<FileId>::iterator pos;
+  };
+  void bump(FileId key, Entry& e);
+  std::unordered_map<FileId, Entry> entries_;
+  std::unordered_map<std::uint64_t, std::list<FileId>> buckets_;
+  std::uint64_t min_freq_ = 0;
+};
+
+/// Second-chance CLOCK.
+class ClockPolicy final : public ReplacementPolicy {
+ public:
+  void on_access(FileId key) override;
+  void on_insert(FileId key) override;
+  void on_erase(FileId key) override;
+  [[nodiscard]] std::optional<FileId> victim() override;
+  [[nodiscard]] const char* name() const noexcept override { return "CLOCK"; }
+
+ private:
+  struct Frame {
+    FileId key;
+    bool referenced;
+    bool live;
+  };
+  std::vector<Frame> frames_;
+  std::unordered_map<FileId, std::size_t> where_;
+  std::size_t hand_ = 0;
+};
+
+/// ARC (Megiddo & Modha, FAST'03). The policy tracks the four ARC lists
+/// internally; `victim()` follows the REPLACE rule using the adaptive
+/// target p. Ghost hits adapt p on `on_insert` of a ghost-resident key.
+class ArcPolicy final : public ReplacementPolicy {
+ public:
+  void on_access(FileId key) override;
+  void on_insert(FileId key) override;
+  void on_erase(FileId key) override;
+  [[nodiscard]] std::optional<FileId> victim() override;
+  [[nodiscard]] const char* name() const noexcept override { return "ARC"; }
+
+  /// ARC needs to know the cache capacity to size its ghost lists.
+  void set_capacity(std::size_t c) { capacity_ = c; }
+
+ private:
+  enum class Where : std::uint8_t { kT1, kT2, kB1, kB2 };
+  struct Entry {
+    Where where;
+    std::list<FileId>::iterator pos;
+  };
+  void move_to(FileId key, Entry& e, Where dst);
+  void trim_ghosts();
+  std::list<FileId>& list_of(Where w);
+
+  std::list<FileId> t1_, t2_, b1_, b2_;  // front = MRU
+  std::unordered_map<FileId, Entry> entries_;
+  std::size_t capacity_ = 0;
+  double p_ = 0.0;  // adaptive target size of t1
+};
+
+}  // namespace farmer

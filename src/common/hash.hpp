@@ -1,0 +1,36 @@
+// Hash helpers shared across modules.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <utility>
+
+namespace farmer {
+
+/// boost-style hash_combine with a 64-bit mix.
+inline void hash_combine(std::size_t& seed, std::size_t v) noexcept {
+  seed ^= v + 0x9E3779B97F4A7C15ull + (seed << 6) + (seed >> 2);
+}
+
+/// Hash for an (id, id) pair — used for edge maps keyed by (file, file).
+struct PairHash {
+  template <typename A, typename B>
+  std::size_t operator()(const std::pair<A, B>& p) const noexcept {
+    std::size_t seed = std::hash<A>{}(p.first);
+    hash_combine(seed, std::hash<B>{}(p.second));
+    return seed;
+  }
+};
+
+/// 64-bit finaliser (xxhash/murmur style) for integer keys.
+[[nodiscard]] constexpr std::uint64_t mix64(std::uint64_t x) noexcept {
+  x ^= x >> 33;
+  x *= 0xFF51AFD7ED558CCDull;
+  x ^= x >> 33;
+  x *= 0xC4CEB9FE1A85EC53ull;
+  x ^= x >> 33;
+  return x;
+}
+
+}  // namespace farmer

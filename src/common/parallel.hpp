@@ -1,0 +1,63 @@
+// Minimal task-parallel helpers (Core Guidelines CP.4: think in terms of
+// tasks, not threads).
+//
+// The library parallelises three embarrassingly parallel stages: synthetic
+// trace generation (per-process streams), parameter sweeps in the benches,
+// and sharded mining. `parallel_for` uses OpenMP when available and falls
+// back to a plain loop otherwise, so the build never requires OpenMP.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <thread>
+#include <vector>
+
+#if defined(FARMER_HAVE_OPENMP)
+#include <omp.h>
+#endif
+
+namespace farmer {
+
+/// Number of worker threads the helpers will use.
+[[nodiscard]] inline unsigned hardware_parallelism() noexcept {
+  const unsigned n = std::thread::hardware_concurrency();
+  return n == 0 ? 1 : n;
+}
+
+/// Runs body(i) for i in [0, n). `body` must be safe to run concurrently
+/// for distinct i. Exceptions must not escape `body` (OpenMP constraint);
+/// our bodies write into pre-sized slots and do not throw.
+template <typename Body>
+void parallel_for(std::size_t n, Body&& body) {
+#if defined(FARMER_HAVE_OPENMP)
+#pragma omp parallel for schedule(dynamic, 1)
+  for (std::int64_t i = 0; i < static_cast<std::int64_t>(n); ++i)
+    body(static_cast<std::size_t>(i));
+#else
+  // Fallback: hand-rolled static partitioning over std::thread.
+  const unsigned workers =
+      static_cast<unsigned>(std::min<std::size_t>(hardware_parallelism(), n));
+  if (workers <= 1) {
+    for (std::size_t i = 0; i < n; ++i) body(i);
+    return;
+  }
+  std::vector<std::thread> pool;
+  pool.reserve(workers);
+  for (unsigned w = 0; w < workers; ++w) {
+    pool.emplace_back([&, w] {
+      for (std::size_t i = w; i < n; i += workers) body(i);
+    });
+  }
+  for (auto& t : pool) t.join();
+#endif
+}
+
+/// Maps body(i) -> T over [0, n) into a pre-sized vector, in parallel.
+template <typename T, typename Body>
+[[nodiscard]] std::vector<T> parallel_map(std::size_t n, Body&& body) {
+  std::vector<T> out(n);
+  parallel_for(n, [&](std::size_t i) { out[i] = body(i); });
+  return out;
+}
+
+}  // namespace farmer

@@ -1,0 +1,124 @@
+// Deterministic pseudo-random number generation.
+//
+// Every stochastic component in the library (workload generators, latency
+// jitter, sampling) takes an explicit `Rng&`. There is no global generator:
+// experiments must be reproducible bit-for-bit from a seed, including when
+// trace generation is parallelised (each shard derives an independent stream
+// via `split()`).
+#pragma once
+
+#include <cstdint>
+#include <cmath>
+#include <cassert>
+
+namespace farmer {
+
+/// SplitMix64: used to seed and to derive independent streams.
+/// Reference: Steele, Lea, Flood, "Fast Splittable Pseudorandom Number
+/// Generators", OOPSLA 2014.
+class SplitMix64 {
+ public:
+  constexpr explicit SplitMix64(std::uint64_t seed) noexcept : state_(seed) {}
+
+  constexpr std::uint64_t next() noexcept {
+    std::uint64_t z = (state_ += 0x9E3779B97F4A7C15ull);
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+/// xoshiro256** 1.0 (Blackman & Vigna) — the library's workhorse generator.
+/// Fast, passes BigCrush, and trivially seedable from SplitMix64.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) noexcept {
+    SplitMix64 sm(seed);
+    for (auto& s : s_) s = sm.next();
+  }
+
+  /// Uniform 64-bit draw.
+  std::uint64_t next_u64() noexcept {
+    const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    const std::uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+  }
+
+  /// Uniform draw in [0, bound). Lemire's nearly-divisionless method.
+  std::uint64_t next_below(std::uint64_t bound) noexcept {
+    assert(bound > 0);
+    __uint128_t m = static_cast<__uint128_t>(next_u64()) * bound;
+    auto lo = static_cast<std::uint64_t>(m);
+    if (lo < bound) {
+      const std::uint64_t threshold = (0 - bound) % bound;
+      while (lo < threshold) {
+        m = static_cast<__uint128_t>(next_u64()) * bound;
+        lo = static_cast<std::uint64_t>(m);
+      }
+    }
+    return static_cast<std::uint64_t>(m >> 64);
+  }
+
+  /// Uniform double in [0, 1).
+  double next_double() noexcept {
+    return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform integer in the inclusive range [lo, hi].
+  std::int64_t next_in(std::int64_t lo, std::int64_t hi) noexcept {
+    assert(lo <= hi);
+    return lo + static_cast<std::int64_t>(
+                    next_below(static_cast<std::uint64_t>(hi - lo) + 1));
+  }
+
+  /// Bernoulli draw with probability `p` of true.
+  bool next_bool(double p) noexcept { return next_double() < p; }
+
+  /// Exponentially distributed draw with the given mean (>0).
+  double next_exponential(double mean) noexcept {
+    double u;
+    do {
+      u = next_double();
+    } while (u <= 0.0);  // avoid log(0)
+    return -mean * std::log(u);
+  }
+
+  /// Standard-normal draw (Marsaglia polar method, cached spare discarded
+  /// deliberately: statelessness keeps split streams independent).
+  double next_normal(double mean, double stddev) noexcept {
+    double u, v, s;
+    do {
+      u = 2.0 * next_double() - 1.0;
+      v = 2.0 * next_double() - 1.0;
+      s = u * u + v * v;
+    } while (s >= 1.0 || s == 0.0);
+    return mean + stddev * u * std::sqrt(-2.0 * std::log(s) / s);
+  }
+
+  /// Log-normal draw parameterised by the mean/sigma of the underlying
+  /// normal (natural-log scale). Used for file sizes.
+  double next_lognormal(double mu, double sigma) noexcept {
+    return std::exp(next_normal(mu, sigma));
+  }
+
+  /// Derives an independent child generator; deterministic given this
+  /// generator's current state. Parallel workload shards each get one.
+  Rng split() noexcept { return Rng(next_u64() ^ 0xA5A5A5A55A5A5A5Aull); }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+    return (x << k) | (x >> (64 - k));
+  }
+  std::uint64_t s_[4];
+};
+
+}  // namespace farmer

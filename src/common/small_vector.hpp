@@ -1,0 +1,183 @@
+// SmallVector: a vector with inline storage for the first N elements.
+//
+// Semantic vectors hold 4-12 tokens; successor windows hold <= 8 entries.
+// Storing them inline avoids a heap allocation per file request on the
+// mining hot path (Core Guidelines Per.14: minimize allocations, Per.15: do
+// not allocate on a critical branch).
+//
+// Only the operations the library needs are implemented; the element type is
+// required to be trivially copyable, which all our interned-token and id
+// types are. This keeps the grow path a single memcpy.
+#pragma once
+
+#include <algorithm>
+#include <cassert>
+#include <cstddef>
+#include <cstring>
+#include <initializer_list>
+#include <new>
+#include <type_traits>
+
+namespace farmer {
+
+template <typename T, std::size_t N>
+class SmallVector {
+  static_assert(std::is_trivially_copyable_v<T>,
+                "SmallVector requires trivially copyable elements");
+  static_assert(N > 0, "inline capacity must be positive");
+
+ public:
+  using value_type = T;
+  using iterator = T*;
+  using const_iterator = const T*;
+
+  // User-provided (not defaulted) so `const SmallVector<T, N> v{};` is
+  // well-formed; the inline byte storage is deliberately left raw.
+  SmallVector() noexcept {}  // NOLINT(modernize-use-equals-default)
+
+  SmallVector(std::initializer_list<T> init) {
+    reserve(init.size());
+    for (const T& v : init) push_back(v);
+  }
+
+  SmallVector(const SmallVector& other) { copy_from(other); }
+
+  SmallVector& operator=(const SmallVector& other) {
+    if (this != &other) {
+      clear_storage();
+      copy_from(other);
+    }
+    return *this;
+  }
+
+  SmallVector(SmallVector&& other) noexcept { move_from(std::move(other)); }
+
+  SmallVector& operator=(SmallVector&& other) noexcept {
+    if (this != &other) {
+      clear_storage();
+      move_from(std::move(other));
+    }
+    return *this;
+  }
+
+  ~SmallVector() { clear_storage(); }
+
+  [[nodiscard]] std::size_t size() const noexcept { return size_; }
+  [[nodiscard]] bool empty() const noexcept { return size_ == 0; }
+  [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
+  [[nodiscard]] bool is_inline() const noexcept {
+    return data_ == inline_data();
+  }
+
+  [[nodiscard]] T* data() noexcept { return data_; }
+  [[nodiscard]] const T* data() const noexcept { return data_; }
+
+  [[nodiscard]] T& operator[](std::size_t i) noexcept {
+    assert(i < size_);
+    return data_[i];
+  }
+  [[nodiscard]] const T& operator[](std::size_t i) const noexcept {
+    assert(i < size_);
+    return data_[i];
+  }
+
+  [[nodiscard]] T& front() noexcept { return (*this)[0]; }
+  [[nodiscard]] const T& front() const noexcept { return (*this)[0]; }
+  [[nodiscard]] T& back() noexcept { return (*this)[size_ - 1]; }
+  [[nodiscard]] const T& back() const noexcept { return (*this)[size_ - 1]; }
+
+  [[nodiscard]] iterator begin() noexcept { return data_; }
+  [[nodiscard]] iterator end() noexcept { return data_ + size_; }
+  [[nodiscard]] const_iterator begin() const noexcept { return data_; }
+  [[nodiscard]] const_iterator end() const noexcept { return data_ + size_; }
+
+  void push_back(const T& v) {
+    if (size_ == capacity_) grow(capacity_ * 2);
+    data_[size_++] = v;
+  }
+
+  void pop_back() noexcept {
+    assert(size_ > 0);
+    --size_;
+  }
+
+  void clear() noexcept { size_ = 0; }
+
+  void reserve(std::size_t n) {
+    if (n > capacity_) grow(n);
+  }
+
+  void resize(std::size_t n, const T& fill = T{}) {
+    reserve(n);
+    for (std::size_t i = size_; i < n; ++i) data_[i] = fill;
+    size_ = n;
+  }
+
+  /// Removes the element at index i by shifting the tail left. O(size).
+  void erase_at(std::size_t i) noexcept {
+    assert(i < size_);
+    std::memmove(data_ + i, data_ + i + 1, (size_ - i - 1) * sizeof(T));
+    --size_;
+  }
+
+  friend bool operator==(const SmallVector& a, const SmallVector& b) noexcept {
+    return a.size_ == b.size_ &&
+           std::equal(a.begin(), a.end(), b.begin());
+  }
+
+  /// Heap bytes owned by this vector (0 when inline) — footprint accounting.
+  [[nodiscard]] std::size_t heap_bytes() const noexcept {
+    return is_inline() ? 0 : capacity_ * sizeof(T);
+  }
+
+ private:
+  [[nodiscard]] T* inline_data() noexcept {
+    return std::launder(reinterpret_cast<T*>(inline_storage_));
+  }
+  [[nodiscard]] const T* inline_data() const noexcept {
+    return std::launder(reinterpret_cast<const T*>(inline_storage_));
+  }
+
+  void grow(std::size_t new_cap) {
+    new_cap = std::max<std::size_t>(new_cap, N * 2);
+    T* heap = static_cast<T*>(::operator new(new_cap * sizeof(T)));
+    std::memcpy(heap, data_, size_ * sizeof(T));
+    if (!is_inline()) ::operator delete(data_);
+    data_ = heap;
+    capacity_ = new_cap;
+  }
+
+  void clear_storage() noexcept {
+    if (!is_inline()) ::operator delete(data_);
+    data_ = inline_data();
+    capacity_ = N;
+    size_ = 0;
+  }
+
+  void copy_from(const SmallVector& other) {
+    reserve(other.size_);
+    std::memcpy(data_, other.data_, other.size_ * sizeof(T));
+    size_ = other.size_;
+  }
+
+  void move_from(SmallVector&& other) noexcept {
+    if (other.is_inline()) {
+      std::memcpy(data_, other.data_, other.size_ * sizeof(T));
+      size_ = other.size_;
+    } else {
+      data_ = other.data_;
+      capacity_ = other.capacity_;
+      size_ = other.size_;
+      other.data_ = other.inline_data();
+      other.capacity_ = N;
+      other.size_ = 0;
+    }
+  }
+
+  alignas(T) std::byte inline_storage_[N * sizeof(T)];
+  T* data_ = inline_data();
+  std::size_t capacity_ = N;
+  std::size_t size_ = 0;
+};
+
+}  // namespace farmer

@@ -1,0 +1,107 @@
+#include "common/stats.hpp"
+
+#include <bit>
+#include <cmath>
+#include <cstdio>
+
+namespace farmer {
+
+void RunningStats::add(double x) noexcept {
+  ++n_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+  min_ = std::min(min_, x);
+  max_ = std::max(max_, x);
+}
+
+void RunningStats::merge(const RunningStats& other) noexcept {
+  if (other.n_ == 0) return;
+  if (n_ == 0) {
+    *this = other;
+    return;
+  }
+  // Chan et al. parallel combination of Welford accumulators.
+  const double delta = other.mean_ - mean_;
+  const auto na = static_cast<double>(n_);
+  const auto nb = static_cast<double>(other.n_);
+  const double nab = na + nb;
+  mean_ += delta * nb / nab;
+  m2_ += other.m2_ + delta * delta * na * nb / nab;
+  n_ += other.n_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+double RunningStats::variance() const noexcept {
+  return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0;
+}
+
+double RunningStats::stddev() const noexcept { return std::sqrt(variance()); }
+
+std::size_t LatencyHistogram::index_of(std::uint64_t v) noexcept {
+  if (v < kSub) return static_cast<std::size_t>(v);
+  const int msb = 63 - std::countl_zero(v);
+  const int shift = msb - 4;  // log2(kSub)
+  const auto major = static_cast<std::size_t>(msb - 3);
+  const auto sub = static_cast<std::size_t>((v >> shift) & (kSub - 1));
+  const std::size_t idx = major * kSub + sub;
+  return std::min(idx, kMajor * kSub - 1);
+}
+
+std::uint64_t LatencyHistogram::value_of(std::size_t idx) noexcept {
+  const std::size_t major = idx / kSub;
+  const std::size_t sub = idx % kSub;
+  if (major == 0) return sub;
+  const int shift = static_cast<int>(major) - 1;
+  return (static_cast<std::uint64_t>(kSub + sub)) << shift;
+}
+
+void LatencyHistogram::record(std::uint64_t value_us) noexcept {
+  ++buckets_[index_of(value_us)];
+  ++count_;
+  sum_ += static_cast<double>(value_us);
+  max_ = std::max(max_, value_us);
+}
+
+void LatencyHistogram::merge(const LatencyHistogram& other) noexcept {
+  for (std::size_t i = 0; i < buckets_.size(); ++i)
+    buckets_[i] += other.buckets_[i];
+  count_ += other.count_;
+  sum_ += other.sum_;
+  max_ = std::max(max_, other.max_);
+}
+
+std::uint64_t LatencyHistogram::quantile(double q) const noexcept {
+  if (count_ == 0) return 0;
+  q = std::clamp(q, 0.0, 1.0);
+  const auto target = static_cast<std::uint64_t>(
+      std::ceil(q * static_cast<double>(count_)));
+  std::uint64_t seen = 0;
+  for (std::size_t i = 0; i < buckets_.size(); ++i) {
+    seen += buckets_[i];
+    if (seen >= target && buckets_[i] > 0) return value_of(i);
+  }
+  return max_;
+}
+
+std::string fmt_double(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+  return buf;
+}
+
+std::string fmt_bytes(std::size_t bytes) {
+  constexpr const char* kUnits[] = {"B", "KB", "MB", "GB", "TB"};
+  double v = static_cast<double>(bytes);
+  std::size_t unit = 0;
+  while (v >= 1024.0 && unit + 1 < std::size(kUnits)) {
+    v /= 1024.0;
+    ++unit;
+  }
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.1f %s", v, kUnits[unit]);
+  return buf;
+}
+
+}  // namespace farmer

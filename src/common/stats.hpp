@@ -1,0 +1,101 @@
+// Streaming statistics and fixed-resolution latency histograms.
+//
+// All experiment metrics (hit ratios, response times, accuracies) flow
+// through these accumulators so every bench prints consistent summaries.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+namespace farmer {
+
+/// Welford single-pass mean/variance with min/max. O(1) space.
+class RunningStats {
+ public:
+  void add(double x) noexcept;
+  void merge(const RunningStats& other) noexcept;
+  void reset() noexcept { *this = RunningStats(); }
+
+  [[nodiscard]] std::uint64_t count() const noexcept { return n_; }
+  [[nodiscard]] double mean() const noexcept { return n_ ? mean_ : 0.0; }
+  [[nodiscard]] double variance() const noexcept;
+  [[nodiscard]] double stddev() const noexcept;
+  [[nodiscard]] double min() const noexcept { return n_ ? min_ : 0.0; }
+  [[nodiscard]] double max() const noexcept { return n_ ? max_ : 0.0; }
+  [[nodiscard]] double sum() const noexcept { return mean_ * static_cast<double>(n_); }
+
+ private:
+  std::uint64_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/// Log-scaled latency histogram (HdrHistogram-lite): 64 power-of-two major
+/// buckets each split into 16 linear sub-buckets, giving <= 6.25% relative
+/// error on any quantile while using a fixed 8 KiB footprint.
+class LatencyHistogram {
+ public:
+  LatencyHistogram() : buckets_(kMajor * kSub, 0) {}
+
+  void record(std::uint64_t value_us) noexcept;
+  void merge(const LatencyHistogram& other) noexcept;
+
+  [[nodiscard]] std::uint64_t count() const noexcept { return count_; }
+  [[nodiscard]] double mean() const noexcept {
+    return count_ ? sum_ / static_cast<double>(count_) : 0.0;
+  }
+  /// Quantile in [0,1]; returns the representative value of the bucket that
+  /// contains the q-th sample.
+  [[nodiscard]] std::uint64_t quantile(double q) const noexcept;
+  [[nodiscard]] std::uint64_t p50() const noexcept { return quantile(0.50); }
+  [[nodiscard]] std::uint64_t p95() const noexcept { return quantile(0.95); }
+  [[nodiscard]] std::uint64_t p99() const noexcept { return quantile(0.99); }
+  [[nodiscard]] std::uint64_t max_value() const noexcept { return max_; }
+
+ private:
+  static constexpr std::size_t kMajor = 64;
+  static constexpr std::size_t kSub = 16;
+
+  [[nodiscard]] static std::size_t index_of(std::uint64_t v) noexcept;
+  [[nodiscard]] static std::uint64_t value_of(std::size_t idx) noexcept;
+
+  std::vector<std::uint64_t> buckets_;
+  std::uint64_t count_ = 0;
+  double sum_ = 0.0;
+  std::uint64_t max_ = 0;
+};
+
+/// Ratio counter for hit/accuracy metrics: numerator/denominator with safe
+/// division and percent formatting.
+class RatioCounter {
+ public:
+  void hit() noexcept { ++num_; ++den_; }
+  void miss() noexcept { ++den_; }
+  void add(bool is_hit) noexcept { is_hit ? hit() : miss(); }
+
+  [[nodiscard]] std::uint64_t numerator() const noexcept { return num_; }
+  [[nodiscard]] std::uint64_t denominator() const noexcept { return den_; }
+  [[nodiscard]] double ratio() const noexcept {
+    return den_ ? static_cast<double>(num_) / static_cast<double>(den_) : 0.0;
+  }
+  [[nodiscard]] double percent() const noexcept { return ratio() * 100.0; }
+  void merge(const RatioCounter& o) noexcept { num_ += o.num_; den_ += o.den_; }
+  void reset() noexcept { num_ = den_ = 0; }
+
+ private:
+  std::uint64_t num_ = 0;
+  std::uint64_t den_ = 0;
+};
+
+/// Formats a double with fixed precision — tiny helper shared by benches.
+[[nodiscard]] std::string fmt_double(double v, int precision = 2);
+
+/// Formats a byte count as a human-readable string ("98.4 MB").
+[[nodiscard]] std::string fmt_bytes(std::size_t bytes);
+
+}  // namespace farmer

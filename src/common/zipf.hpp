@@ -1,0 +1,110 @@
+// Zipf-distributed sampling over a finite population.
+//
+// File popularity in every studied trace is heavy-tailed; the workload
+// generators draw file/group ranks from Zipf(s, N). Two samplers are
+// provided:
+//  * `ZipfTable` — O(N) setup, O(log N) draw via CDF inversion; exact.
+//  * `ZipfRejection` — O(1) setup and O(1) expected draw using
+//    rejection-inversion (Hörmann & Derflinger 1996); preferred for large N.
+#pragma once
+
+#include <cassert>
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace farmer {
+
+/// Exact Zipf sampler backed by an explicit cumulative table.
+class ZipfTable {
+ public:
+  /// Ranks are 0-based: rank 0 has probability proportional to 1^-s.
+  ZipfTable(std::size_t n, double s) : cdf_(n) {
+    assert(n > 0);
+    double acc = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      acc += 1.0 / std::pow(static_cast<double>(i + 1), s);
+      cdf_[i] = acc;
+    }
+    const double inv = 1.0 / acc;
+    for (auto& c : cdf_) c *= inv;
+    cdf_[n - 1] = 1.0;  // guard against accumulated rounding
+  }
+
+  [[nodiscard]] std::size_t size() const noexcept { return cdf_.size(); }
+
+  /// Draws a 0-based rank.
+  std::size_t sample(Rng& rng) const noexcept {
+    const double u = rng.next_double();
+    // Branchless-ish binary search over the CDF.
+    std::size_t lo = 0, hi = cdf_.size() - 1;
+    while (lo < hi) {
+      const std::size_t mid = lo + (hi - lo) / 2;
+      if (cdf_[mid] < u)
+        lo = mid + 1;
+      else
+        hi = mid;
+    }
+    return lo;
+  }
+
+  /// Probability mass of a rank (for analysis/tests).
+  [[nodiscard]] double pmf(std::size_t rank) const noexcept {
+    assert(rank < cdf_.size());
+    return rank == 0 ? cdf_[0] : cdf_[rank] - cdf_[rank - 1];
+  }
+
+ private:
+  std::vector<double> cdf_;
+};
+
+/// O(1) Zipf sampler via rejection-inversion. Valid for s != 1 handled by
+/// the generalised harmonic integral; s == 1 uses the log form.
+class ZipfRejection {
+ public:
+  ZipfRejection(std::size_t n, double s)
+      : n_(n), s_(s), h_x1_(h(1.5) - std::exp(-s * std::log(1.0))) {
+    assert(n > 0);
+    h_n_ = h(static_cast<double>(n) + 0.5);
+    dist_ = h_x1_ - h_n_;
+  }
+
+  std::size_t sample(Rng& rng) const noexcept {
+    // Hörmann & Derflinger rejection-inversion loop; expected < 1.1 trips.
+    for (;;) {
+      const double u = h_n_ + rng.next_double() * dist_;
+      const double x = h_inv(u);
+      auto k = static_cast<std::int64_t>(x + 0.5);
+      if (k < 1) k = 1;
+      if (k > static_cast<std::int64_t>(n_)) k = static_cast<std::int64_t>(n_);
+      const double kd = static_cast<double>(k);
+      if (kd - x <= s_eps_ || u >= h(kd + 0.5) - std::exp(-s_ * std::log(kd)))
+        return static_cast<std::size_t>(k - 1);  // 0-based rank
+    }
+  }
+
+  [[nodiscard]] std::size_t size() const noexcept { return n_; }
+
+ private:
+  // H(x) = integral of x^-s  (antiderivative, shifted for s == 1).
+  [[nodiscard]] double h(double x) const noexcept {
+    const double logx = std::log(x);
+    if (std::abs(s_ - 1.0) < 1e-12) return logx;
+    return std::exp((1.0 - s_) * logx) / (1.0 - s_);
+  }
+  [[nodiscard]] double h_inv(double u) const noexcept {
+    if (std::abs(s_ - 1.0) < 1e-12) return std::exp(u);
+    return std::exp(std::log((1.0 - s_) * u) / (1.0 - s_));
+  }
+
+  std::size_t n_;
+  double s_;
+  double h_x1_;
+  double h_n_ = 0;
+  double dist_ = 0;
+  static constexpr double s_eps_ = 1e-8;
+};
+
+}  // namespace farmer

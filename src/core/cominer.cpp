@@ -1,0 +1,30 @@
+#include "core/cominer.hpp"
+
+namespace farmer {
+
+double CoMiner::correlation_degree(FileId pred, const Signature& pred_sig,
+                                   FileId succ,
+                                   const Signature& succ_sig) const {
+  const double sim = similarity(pred_sig, succ_sig);
+  const double freq = graph_.access_frequency(pred, succ);
+  return cfg_.p * sim + (1.0 - cfg_.p) * freq;
+}
+
+double CoMiner::evaluate_pair(FileId pred, const Signature& pred_sig,
+                              FileId succ, const Signature& succ_sig) {
+  const double degree = correlation_degree(pred, pred_sig, succ, succ_sig);
+  ++stats_.pairs_evaluated;
+  if (degree >= cfg_.max_strength) {
+    ++stats_.pairs_accepted;
+    graph_.upsert_correlator(pred,
+                             {succ, static_cast<float>(degree)});
+  } else {
+    ++stats_.pairs_filtered;
+    // Correlations decay: a pair once valid can fall below the threshold as
+    // N_pred grows; keep the list honest.
+    graph_.remove_correlator(pred, succ);
+  }
+  return degree;
+}
+
+}  // namespace farmer

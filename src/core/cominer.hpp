@@ -1,0 +1,61 @@
+// Stage 3 — Mining & Evaluating: the CoMiner algorithm (Section 3.2).
+//
+// CoMiner combines the two factors into the file correlation degree
+//
+//   R(x, y) = p * sim(x, y) + (1 - p) * F(x, y)        (Function 2)
+//
+// where sim is the VSM Semantic Distance between the files' signatures and
+// F(x, y) = N_xy / N_x is the LDA-weighted access frequency maintained in
+// the correlation graph. Pairs whose degree falls below `max_strength` are
+// filtered out of the Correlator List (Section 3.2.4).
+#pragma once
+
+#include <cstdint>
+
+#include "core/config.hpp"
+#include "graph/correlation_graph.hpp"
+#include "vsm/similarity.hpp"
+
+namespace farmer {
+
+/// Counters exposed for the efficiency analysis (Section 3.3).
+struct CoMinerStats {
+  std::uint64_t pairs_evaluated = 0;
+  std::uint64_t pairs_accepted = 0;   ///< R >= max_strength
+  std::uint64_t pairs_filtered = 0;   ///< R <  max_strength
+
+  [[nodiscard]] double acceptance_rate() const noexcept {
+    return pairs_evaluated
+               ? static_cast<double>(pairs_accepted) /
+                     static_cast<double>(pairs_evaluated)
+               : 0.0;
+  }
+};
+
+class CoMiner {
+ public:
+  CoMiner(const FarmerConfig& cfg, CorrelationGraph& graph)
+      : cfg_(cfg), graph_(graph) {}
+
+  /// Evaluates R(pred, succ) from the given signatures and the graph's
+  /// current frequency state, then updates pred's Correlator List: the pair
+  /// is inserted/updated when valid, removed when it has fallen below the
+  /// threshold. Returns the degree.
+  double evaluate_pair(FileId pred, const Signature& pred_sig, FileId succ,
+                       const Signature& succ_sig);
+
+  /// Pure evaluation without list maintenance (analysis/tests).
+  [[nodiscard]] double correlation_degree(FileId pred,
+                                          const Signature& pred_sig,
+                                          FileId succ,
+                                          const Signature& succ_sig) const;
+
+  [[nodiscard]] const CoMinerStats& stats() const noexcept { return stats_; }
+
+ private:
+  const FarmerConfig& cfg_;
+  CorrelationGraph& graph_;
+  CoMinerStats stats_;
+};
+
+}  // namespace farmer

@@ -1,0 +1,42 @@
+// FARMER model configuration (Section 3 parameters).
+#pragma once
+
+#include <cstddef>
+
+#include "vsm/attribute.hpp"
+#include "vsm/semantic_vector.hpp"
+
+namespace farmer {
+
+struct FarmerConfig {
+  /// Weight of the semantic factor in R(x,y) = p*sim + (1-p)*F.
+  /// The paper finds p = 0.7 best (Fig. 3); p = 0 reduces FARMER to Nexus.
+  double p = 0.7;
+
+  /// Validity threshold for the correlation degree ("max_strength",
+  /// Section 3.2.4). Pairs with R below it are filtered from the
+  /// Correlator List. The paper settles on 0.4 (Fig. 6).
+  double max_strength = 0.4;
+
+  /// Look-ahead window length for access-sequence mining.
+  std::size_t window = 4;
+
+  /// Linear Decremented Assignment step: a successor at distance d
+  /// contributes 1 - (d-1)*lda_delta to N_AB (1.0, 0.9, 0.8, ... in the
+  /// paper's example).
+  double lda_delta = 0.1;
+
+  /// Semantic attributes participating in similarity (Table 5 rows).
+  AttributeMask attributes = AttributeMask::all_with_path();
+
+  /// File-path handling; the paper selects IPA (Section 3.2.1).
+  PathMode path_mode = PathMode::kIntegrated;
+
+  /// Bounded successor set per graph node (memory/accuracy trade-off).
+  std::size_t max_successors = 16;
+
+  /// Maximum Correlator List length per file.
+  std::size_t correlator_capacity = 8;
+};
+
+}  // namespace farmer

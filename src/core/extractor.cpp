@@ -1,0 +1,4 @@
+#include "core/extractor.hpp"
+
+// Extractor is header-only; this TU anchors the symbol for the library.
+namespace farmer {}

@@ -1,0 +1,42 @@
+// Stage 1 — Extracting: turn a file request into a semantic vector.
+//
+// The extractor is "file-type specific" in the paper's HUSt integration; in
+// this library the trace dictionary already interned every attribute, so
+// extraction assembles tokens and resolves path components without touching
+// strings.
+#pragma once
+
+#include "trace/record.hpp"
+#include "vsm/semantic_vector.hpp"
+
+namespace farmer {
+
+class Extractor {
+ public:
+  explicit Extractor(std::shared_ptr<const TraceDictionary> dict)
+      : dict_(std::move(dict)) {}
+
+  /// Builds the semantic vector of the file addressed by `rec` as of this
+  /// request. Cheap: copies interned tokens only.
+  void extract(const TraceRecord& rec, SemanticVector& out) const {
+    out.user = rec.user_token;
+    out.process = rec.process_token;
+    out.host = rec.host_token;
+    out.dev = rec.dev_token;
+    out.fid = rec.fid_token;
+    out.path_components.clear();
+    if (rec.path.valid() && dict_) {
+      for (TokenId t : dict_->path_components(rec.path))
+        out.path_components.push_back(t);
+    }
+  }
+
+  [[nodiscard]] const TraceDictionary* dictionary() const noexcept {
+    return dict_.get();
+  }
+
+ private:
+  std::shared_ptr<const TraceDictionary> dict_;
+};
+
+}  // namespace farmer

@@ -1,0 +1,112 @@
+#include "core/farmer.hpp"
+
+#include <algorithm>
+
+namespace farmer {
+
+Farmer::Farmer(FarmerConfig cfg, std::shared_ptr<const TraceDictionary> dict)
+    : cfg_(cfg),
+      extractor_(std::move(dict)),
+      graph_({cfg.max_successors, cfg.correlator_capacity}),
+      miner_(cfg_, graph_),
+      window_(cfg.window) {}
+
+void Farmer::ensure_file_state(FileId f) {
+  const auto i = static_cast<std::size_t>(f.value());
+  if (i >= vectors_.size()) {
+    vectors_.resize(i + 1);
+    signatures_.resize(i + 1);
+    has_state_.resize(i + 1, 0);
+  }
+}
+
+void Farmer::observe(const TraceRecord& rec) {
+  ++requests_;
+  const FileId file = rec.file;
+  ensure_file_state(file);
+
+  // Stage 1 — Extracting. The stored vector/signature always reflect the
+  // most recent request context of the file.
+  SemanticVector& sv = vectors_[file.value()];
+  extractor_.extract(rec, sv);
+  signatures_[file.value()] =
+      build_signature(sv, cfg_.attributes, cfg_.path_mode);
+  has_state_[file.value()] = 1;
+
+  // Stage 2 — Constructing: N_file and LDA-weighted N_{pred,file} updates.
+  graph_.record_access(file);
+  const Signature& file_sig = signatures_[file.value()];
+
+  // Refresh the *frequency* component of `file`'s Correlator List: N_file
+  // just grew, so F(file, succ) = N_AB / N_file shrank for every listed
+  // successor. The semantic component is NOT re-evaluated here — per the
+  // paper, semantic distance is only recomputed when the pair is observed
+  // again — so stable context matches survive across sessions while
+  // one-shot successors (fresh checkpoint files and the like) decay with
+  // 1/N and eventually fall below the validity threshold.
+  auto& list = graph_.correlators(file);
+  for (std::size_t i = list.size(); i-- > 0;) {
+    const FileId succ = list[i].file;
+    const double freq = graph_.access_frequency(file, succ);
+    // Recover the semantic part from the stored degree under the *previous*
+    // N (freq scaled by N/(N-1)); algebraically equivalent to caching sim.
+    const double prev_freq =
+        freq * static_cast<double>(graph_.access_count(file)) /
+        std::max<double>(1.0,
+                         static_cast<double>(graph_.access_count(file)) - 1.0);
+    const double sem =
+        static_cast<double>(list[i].degree) - (1.0 - cfg_.p) * prev_freq;
+    const double degree = sem + (1.0 - cfg_.p) * freq;
+    if (degree < cfg_.max_strength)
+      graph_.remove_correlator(file, succ);
+    else
+      list[i].degree = static_cast<float>(degree);
+  }
+  std::sort(list.begin(), list.end(),
+            [](const Correlator& a, const Correlator& b) {
+              if (a.degree != b.degree) return a.degree > b.degree;
+              return a.file < b.file;
+            });
+  window_.for_each_predecessor(file, [&](FileId pred, std::size_t distance) {
+    const double w = AccessWindow::lda_weight(distance, cfg_.lda_delta);
+    if (w <= 0.0) return;
+    graph_.add_transition(pred, file, w);
+    // Stages 3 + 4 — Mining & Evaluating, then Sorting: only pairs touched
+    // by this request are (re-)evaluated; the Correlator List insert keeps
+    // the list ordered.
+    if (has_state_[pred.value()])
+      miner_.evaluate_pair(pred, signatures_[pred.value()], file, file_sig);
+  });
+  window_.push(file);
+}
+
+double Farmer::semantic_similarity(FileId a, FileId b) const {
+  const auto ia = static_cast<std::size_t>(a.value());
+  const auto ib = static_cast<std::size_t>(b.value());
+  if (ia >= has_state_.size() || ib >= has_state_.size() || !has_state_[ia] ||
+      !has_state_[ib])
+    return 0.0;
+  return similarity(signatures_[ia], signatures_[ib]);
+}
+
+double Farmer::correlation_degree(FileId a, FileId b) const {
+  const auto ia = static_cast<std::size_t>(a.value());
+  const auto ib = static_cast<std::size_t>(b.value());
+  if (ia >= has_state_.size() || ib >= has_state_.size() || !has_state_[ia] ||
+      !has_state_[ib])
+    return 0.0;
+  return miner_.correlation_degree(a, signatures_[ia], b, signatures_[ib]);
+}
+
+std::size_t Farmer::footprint_bytes() const noexcept {
+  std::size_t bytes = graph_.footprint_bytes();
+  bytes += vectors_.capacity() * sizeof(SemanticVector);
+  bytes += signatures_.capacity() * sizeof(Signature);
+  bytes += has_state_.capacity();
+  for (const auto& v : vectors_) bytes += v.path_components.heap_bytes();
+  for (const auto& s : signatures_)
+    bytes += s.items.heap_bytes() + s.path_sorted.heap_bytes();
+  return bytes;
+}
+
+}  // namespace farmer

@@ -1,0 +1,86 @@
+// The FARMER model: the four-stage pipeline of Section 3.1.
+//
+//   Stage 1  Extracting    — request -> semantic vector (Extractor)
+//   Stage 2  Constructing  — sliding window -> weighted correlation graph
+//   Stage 3  Mining & Evaluating — CoMiner computes R(x,y) per touched pair
+//   Stage 4  Sorting       — Correlator Lists kept sorted by degree
+//
+// `observe()` runs all four stages for one request; the model is fully
+// incremental ("iterative process that repeats itself for each incoming
+// request"). Correlator Lists are the public product, consumed by the
+// prefetcher (Section 4.1) and the layout optimizer (Section 4.2).
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "core/cominer.hpp"
+#include "core/config.hpp"
+#include "core/extractor.hpp"
+#include "graph/access_window.hpp"
+#include "graph/correlation_graph.hpp"
+#include "trace/record.hpp"
+
+namespace farmer {
+
+/// Aggregate counters + memory accounting for Table 4.
+struct FarmerStats {
+  std::uint64_t requests = 0;
+  CoMinerStats mining;
+};
+
+class Farmer {
+ public:
+  Farmer(FarmerConfig cfg, std::shared_ptr<const TraceDictionary> dict);
+
+  /// Ingests one file request (all four stages).
+  void observe(const TraceRecord& rec);
+
+  /// Sorted Correlator List of `f` (may be empty). Entries all satisfy
+  /// degree >= max_strength at their last evaluation.
+  [[nodiscard]] const SmallVector<Correlator, 4>& correlators(
+      FileId f) const noexcept {
+    return graph_.correlators(f);
+  }
+
+  /// Correlation degree between two files under the current state
+  /// (evaluation-only; does not modify any list).
+  [[nodiscard]] double correlation_degree(FileId a, FileId b) const;
+
+  /// Raw semantic distance sim(a, b) under the current state (no frequency
+  /// component); 0 when either file has no recorded context yet.
+  [[nodiscard]] double semantic_similarity(FileId a, FileId b) const;
+
+  [[nodiscard]] const CorrelationGraph& graph() const noexcept {
+    return graph_;
+  }
+  [[nodiscard]] const FarmerConfig& config() const noexcept { return cfg_; }
+  [[nodiscard]] FarmerStats stats() const noexcept {
+    FarmerStats s;
+    s.requests = requests_;
+    s.mining = miner_.stats();
+    return s;
+  }
+
+  /// Total additional memory FARMER holds: graph + correlator lists +
+  /// per-active-file semantic state (Table 4 accounting).
+  [[nodiscard]] std::size_t footprint_bytes() const noexcept;
+
+ private:
+  void ensure_file_state(FileId f);
+
+  FarmerConfig cfg_;
+  Extractor extractor_;
+  CorrelationGraph graph_;
+  CoMiner miner_;
+  AccessWindow window_;
+
+  // Per-file semantic state, dense by FileId: the vector as of the most
+  // recent access and its prebuilt signature under (attributes, path_mode).
+  std::vector<SemanticVector> vectors_;
+  std::vector<Signature> signatures_;
+  std::vector<std::uint8_t> has_state_;
+  std::uint64_t requests_ = 0;
+};
+
+}  // namespace farmer

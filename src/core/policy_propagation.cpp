@@ -1,0 +1,87 @@
+#include "core/policy_propagation.hpp"
+
+#include <deque>
+
+namespace farmer {
+
+PropagationResult propagate_rule(const Farmer& model, FileId seed,
+                                 const PropagationConfig& cfg) {
+  PropagationResult result;
+  std::unordered_map<FileId, std::uint8_t> seen;
+  std::deque<std::pair<FileId, std::uint8_t>> queue;
+  queue.emplace_back(seed, 0);
+  seen.emplace(seed, 0);
+  while (!queue.empty() && result.files.size() < cfg.max_files) {
+    const auto [f, hops] = queue.front();
+    queue.pop_front();
+    result.files.push_back(f);
+    result.hop.push_back(hops);
+    if (hops >= cfg.max_hops) continue;
+    for (const Correlator& c : model.correlators(f)) {
+      if (static_cast<double>(c.degree) < cfg.min_degree) continue;
+      if (seen.count(c.file)) continue;
+      seen.emplace(c.file, static_cast<std::uint8_t>(hops + 1));
+      queue.emplace_back(c.file, static_cast<std::uint8_t>(hops + 1));
+    }
+  }
+  return result;
+}
+
+std::vector<ReplicaGroup> build_replica_groups(
+    const Farmer& model, std::size_t file_count,
+    const ReplicaGroupingConfig& cfg) {
+  // Union-find over the thresholded correlation edges with a size cap, then
+  // collect multi-file components.
+  std::vector<std::uint32_t> parent(file_count), size(file_count, 1);
+  std::vector<float> weakest(file_count, 1.0f);
+  for (std::uint32_t i = 0; i < file_count; ++i) parent[i] = i;
+  auto find = [&](std::uint32_t x) {
+    while (parent[x] != x) {
+      parent[x] = parent[parent[x]];
+      x = parent[x];
+    }
+    return x;
+  };
+
+  for (std::uint32_t f = 0; f < file_count; ++f) {
+    for (const Correlator& c : model.correlators(FileId(f))) {
+      if (static_cast<double>(c.degree) < cfg.min_degree) continue;
+      if (c.file.value() >= file_count) continue;
+      std::uint32_t a = find(f), b = find(c.file.value());
+      if (a == b) continue;
+      if (size[a] + size[b] > cfg.max_group_files) continue;
+      if (size[a] < size[b]) std::swap(a, b);
+      parent[b] = a;
+      size[a] += size[b];
+      weakest[a] = std::min({weakest[a], weakest[b], c.degree});
+    }
+  }
+
+  std::unordered_map<std::uint32_t, ReplicaGroup> by_rep;
+  for (std::uint32_t f = 0; f < file_count; ++f) {
+    const std::uint32_t rep = find(f);
+    if (size[rep] < 2) continue;
+    auto& g = by_rep[rep];
+    g.members.push_back(FileId(f));
+    g.min_internal_degree = static_cast<double>(weakest[rep]);
+  }
+  std::vector<ReplicaGroup> groups;
+  groups.reserve(by_rep.size());
+  for (auto& [rep, g] : by_rep) groups.push_back(std::move(g));
+  return groups;
+}
+
+const PropagationResult& RuleRegistry::attach(FileId seed, AccessRule rule,
+                                              const PropagationConfig& cfg) {
+  entries_.push_back({std::move(rule), propagate_rule(model_, seed, cfg)});
+  return entries_.back().coverage;
+}
+
+std::vector<AccessRule> RuleRegistry::rules_for(FileId f) const {
+  std::vector<AccessRule> rules;
+  for (const Entry& e : entries_)
+    if (e.coverage.covers(f)) rules.push_back(e.rule);
+  return rules;
+}
+
+}  // namespace farmer

@@ -1,0 +1,102 @@
+// FARMER-enabled security and reliability (paper Section 4.3).
+//
+// Two consumers of the mined correlations beyond prefetching:
+//
+//  * **Rule propagation** — "once a user configures rule-based accesses for
+//    a file or directory, this rule may be applied to other files that have
+//    strong file correlations with this file automatically." Rules spread
+//    transitively along Correlator List edges whose degree meets a
+//    propagation threshold, up to a bounded hop count.
+//
+//  * **Replica grouping** — "file replication ... can take advantage of
+//    file correlations by grouping files with strong inter-file
+//    correlations in the same logical replica group. Each backup and
+//    recovery task on a replica group can be an atomic operation." Groups
+//    are connected components of the thresholded correlation graph with a
+//    size cap, so one group = one atomic backup unit.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/farmer.hpp"
+
+namespace farmer {
+
+/// A named access rule (the content is opaque to the propagation engine).
+struct AccessRule {
+  std::string name;
+  bool deny = false;  ///< e.g., secured-delete / denial of malicious access
+};
+
+struct PropagationConfig {
+  double min_degree = 0.6;   ///< correlation strength required to propagate
+  std::size_t max_hops = 2;  ///< bounded transitive spread
+  std::size_t max_files = 64;  ///< safety cap per rule
+};
+
+/// Result of propagating one rule from a seed file.
+struct PropagationResult {
+  std::vector<FileId> files;  ///< seed first, then BFS order
+  std::vector<std::uint8_t> hop;  ///< distance from the seed, per file
+
+  [[nodiscard]] bool covers(FileId f) const noexcept {
+    for (const FileId g : files)
+      if (g == f) return true;
+    return false;
+  }
+};
+
+/// Spreads a rule from `seed` along strong correlations (BFS over the
+/// Correlator Lists). The seed is always included.
+[[nodiscard]] PropagationResult propagate_rule(const Farmer& model,
+                                               FileId seed,
+                                               const PropagationConfig& cfg);
+
+/// A replica group: files backed up / recovered atomically together.
+struct ReplicaGroup {
+  std::vector<FileId> members;
+  double min_internal_degree = 0.0;  ///< weakest edge that formed the group
+};
+
+struct ReplicaGroupingConfig {
+  double min_degree = 0.6;
+  std::size_t max_group_files = 8;  ///< atomic-operation size bound
+};
+
+/// Partitions all files with correlations into replica groups (connected
+/// components of the thresholded graph, capped). Singleton files are not
+/// reported — they replicate independently.
+[[nodiscard]] std::vector<ReplicaGroup> build_replica_groups(
+    const Farmer& model, std::size_t file_count,
+    const ReplicaGroupingConfig& cfg);
+
+/// Registry binding rules to files with FARMER-backed propagation; models
+/// the paper's "intelligent secure storage" rule store.
+class RuleRegistry {
+ public:
+  explicit RuleRegistry(const Farmer& model) : model_(model) {}
+
+  /// Attaches `rule` to `seed` and propagates it. Returns files covered.
+  const PropagationResult& attach(FileId seed, AccessRule rule,
+                                  const PropagationConfig& cfg);
+
+  /// All rules effective for `f` (direct or propagated).
+  [[nodiscard]] std::vector<AccessRule> rules_for(FileId f) const;
+
+  [[nodiscard]] std::size_t rule_count() const noexcept {
+    return entries_.size();
+  }
+
+ private:
+  struct Entry {
+    AccessRule rule;
+    PropagationResult coverage;
+  };
+  const Farmer& model_;
+  std::vector<Entry> entries_;
+};
+
+}  // namespace farmer

@@ -1,0 +1,65 @@
+#include "core/sharded_farmer.hpp"
+
+#include <algorithm>
+
+#include "common/hash.hpp"
+#include "common/parallel.hpp"
+
+namespace farmer {
+
+ShardedFarmer::ShardedFarmer(FarmerConfig cfg,
+                             std::shared_ptr<const TraceDictionary> dict,
+                             std::size_t shards)
+    : cfg_(cfg) {
+  shards_.reserve(shards == 0 ? 1 : shards);
+  for (std::size_t i = 0; i < std::max<std::size_t>(shards, 1); ++i)
+    shards_.push_back(std::make_unique<Farmer>(cfg, dict));
+}
+
+std::size_t ShardedFarmer::shard_of(const TraceRecord& rec) const noexcept {
+  return static_cast<std::size_t>(mix64(rec.process.value())) %
+         shards_.size();
+}
+
+void ShardedFarmer::observe(const TraceRecord& rec) {
+  shards_[shard_of(rec)]->observe(rec);
+}
+
+void ShardedFarmer::observe_batch(std::span<const TraceRecord> records) {
+  // Partition indices per shard, preserving stream order within each shard.
+  std::vector<std::vector<std::uint32_t>> buckets(shards_.size());
+  for (std::uint32_t i = 0; i < records.size(); ++i)
+    buckets[shard_of(records[i])].push_back(i);
+  parallel_for(shards_.size(), [&](std::size_t s) {
+    for (std::uint32_t idx : buckets[s]) shards_[s]->observe(records[idx]);
+  });
+}
+
+std::vector<Correlator> ShardedFarmer::correlators(FileId f) const {
+  std::vector<Correlator> merged;
+  for (const auto& shard : shards_)
+    for (const Correlator& c : shard->correlators(f)) merged.push_back(c);
+  std::sort(merged.begin(), merged.end(),
+            [](const Correlator& a, const Correlator& b) {
+              if (a.degree != b.degree) return a.degree > b.degree;
+              return a.file < b.file;
+            });
+  // Deduplicate successors: the strongest shard wins.
+  std::vector<Correlator> out;
+  for (const Correlator& c : merged) {
+    const bool seen = std::any_of(
+        out.begin(), out.end(),
+        [&](const Correlator& o) { return o.file == c.file; });
+    if (!seen) out.push_back(c);
+    if (out.size() >= cfg_.correlator_capacity) break;
+  }
+  return out;
+}
+
+std::size_t ShardedFarmer::footprint_bytes() const noexcept {
+  std::size_t bytes = sizeof(*this);
+  for (const auto& s : shards_) bytes += s->footprint_bytes();
+  return bytes;
+}
+
+}  // namespace farmer

@@ -1,0 +1,55 @@
+// Sharded concurrent mining.
+//
+// A peta-scale deployment runs many metadata servers, each mining the
+// request streams of the clients it serves. `ShardedFarmer` models that:
+// requests are partitioned by process id (stream affinity) across S
+// independent Farmer shards that can ingest in parallel without sharing
+// mutable state (Core Guidelines CP.3: minimize sharing). Queries merge the
+// per-shard Correlator Lists by degree.
+//
+// Sharding by process also removes cross-process interleaving noise from
+// each shard's window — the same effect the paper attributes to semantic
+// filtering — so shard results are a strict-quality variant, not an
+// approximation; the equivalence test pins down the exact relationship.
+#pragma once
+
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "core/farmer.hpp"
+
+namespace farmer {
+
+class ShardedFarmer {
+ public:
+  ShardedFarmer(FarmerConfig cfg, std::shared_ptr<const TraceDictionary> dict,
+                std::size_t shards);
+
+  /// Routes one request to its shard (serial ingest path).
+  void observe(const TraceRecord& rec);
+
+  /// Ingests a batch: requests are partitioned per shard preserving each
+  /// stream's order, then shards run in parallel.
+  void observe_batch(std::span<const TraceRecord> records);
+
+  /// Merged Correlator List across shards, sorted by degree, deduplicated
+  /// (highest degree wins), capped at the configured capacity.
+  [[nodiscard]] std::vector<Correlator> correlators(FileId f) const;
+
+  [[nodiscard]] std::size_t shard_count() const noexcept {
+    return shards_.size();
+  }
+  [[nodiscard]] const Farmer& shard(std::size_t i) const {
+    return *shards_.at(i);
+  }
+  [[nodiscard]] std::size_t footprint_bytes() const noexcept;
+
+ private:
+  [[nodiscard]] std::size_t shard_of(const TraceRecord& rec) const noexcept;
+
+  FarmerConfig cfg_;
+  std::vector<std::unique_ptr<Farmer>> shards_;
+};
+
+}  // namespace farmer

@@ -1,0 +1,8 @@
+#include "graph/access_window.hpp"
+
+// AccessWindow is header-only; this translation unit anchors the library
+// target and provides a home for future out-of-line additions.
+namespace farmer {
+static_assert(AccessWindow::kMaxWindow >= 8,
+              "paper experiments use windows up to 8");
+}  // namespace farmer

@@ -1,0 +1,87 @@
+// Sliding look-ahead window over the access stream (Constructing stage).
+//
+// The paper's Linear Decremented Assignment (Section 3.2.2): when file B is
+// accessed, every file A at distance d in the preceding window receives a
+// successor-count contribution of `1 - (d-1) * delta` toward N_AB (paper
+// example: 1.0, 0.9, 0.8 for d = 1, 2, 3). The window also suppresses the
+// degenerate self-edge produced by repeated accesses to the same file.
+#pragma once
+
+#include <cstddef>
+
+#include "common/small_vector.hpp"
+#include "common/types.hpp"
+
+namespace farmer {
+
+class AccessWindow {
+ public:
+  /// Successor-count contribution of a predecessor at `distance` >= 1.
+  /// Clamped at zero so very long windows cannot produce negative weight.
+  [[nodiscard]] static double lda_weight(std::size_t distance,
+                                         double delta) noexcept {
+    const double w = 1.0 - static_cast<double>(distance - 1) * delta;
+    return w > 0.0 ? w : 0.0;
+  }
+
+  explicit AccessWindow(std::size_t capacity) : capacity_(capacity) {}
+
+  /// Predecessor visible at slot i, i = 0 the most recent. Valid for
+  /// i < size().
+  [[nodiscard]] FileId at(std::size_t i) const noexcept {
+    return ring_[(head_ + size_ - 1 - i) % kMaxWindow];
+  }
+
+  [[nodiscard]] std::size_t size() const noexcept { return size_; }
+  [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
+  [[nodiscard]] bool empty() const noexcept { return size_ == 0; }
+
+  /// Pushes a newly accessed file; the oldest entry falls out when full.
+  void push(FileId f) noexcept {
+    ring_[(head_ + size_) % kMaxWindow] = f;
+    if (size_ < capacity_)
+      ++size_;
+    else
+      head_ = (head_ + 1) % kMaxWindow;
+  }
+
+  void clear() noexcept {
+    head_ = 0;
+    size_ = 0;
+  }
+
+  /// Iterates predecessors of a new access, most recent first, invoking
+  /// fn(predecessor, distance) with distance starting at 1. Skips
+  /// self-references to `current` and deduplicates repeated predecessors
+  /// (only the nearest occurrence counts), so each access of B contributes
+  /// at most one LDA increment per predecessor and F(A,B) = N_AB / N_A
+  /// stays a frequency.
+  template <typename Fn>
+  void for_each_predecessor(FileId current, Fn&& fn) const {
+    FileId seen[kMaxWindow];
+    std::size_t nseen = 0;
+    for (std::size_t i = 0; i < size_; ++i) {
+      const FileId p = at(i);
+      if (p == current) continue;
+      bool dup = false;
+      for (std::size_t s = 0; s < nseen; ++s)
+        if (seen[s] == p) {
+          dup = true;
+          break;
+        }
+      if (dup) continue;
+      seen[nseen++] = p;
+      fn(p, i + 1);
+    }
+  }
+
+  static constexpr std::size_t kMaxWindow = 16;
+
+ private:
+  FileId ring_[kMaxWindow];
+  std::size_t head_ = 0;
+  std::size_t size_ = 0;
+  std::size_t capacity_;
+};
+
+}  // namespace farmer

@@ -1,0 +1,118 @@
+// The directed, weighted correlation graph (Constructing stage).
+//
+// Nodes are files; a directed edge A -> B accumulates N_AB, the LDA-weighted
+// count of B following A within the look-ahead window. Each node also counts
+// N_A, the total accesses of A, so the access frequency of the paper is
+//
+//   F(A, B) = N_AB / N_A.
+//
+// The successor set per node is bounded (`max_successors`): when full, a new
+// successor evicts the currently weakest edge if the newcomer's initial
+// weight exceeds it. Bounding is what gives FARMER (and Nexus) their small
+// memory footprint; `footprint_bytes()` implements the Table-4 accounting.
+//
+// The same structure serves as the sequence-mining substrate for both
+// FARMER's CoMiner and the Nexus baseline (which ranks successors purely by
+// N_AB).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/small_vector.hpp"
+#include "common/types.hpp"
+
+namespace farmer {
+
+/// One outgoing edge of the correlation graph.
+struct SuccessorEdge {
+  FileId successor;
+  float nab = 0.0f;  ///< LDA-weighted successor count N_AB
+};
+
+/// One entry of a file's Correlator List (Sorting stage output).
+struct Correlator {
+  FileId file;
+  float degree = 0.0f;  ///< file correlation degree R(A, B)
+};
+
+class CorrelationGraph {
+ public:
+  struct Config {
+    std::size_t max_successors = 16;  ///< bounded successor set per node
+    std::size_t correlator_capacity = 8;  ///< max Correlator List length
+  };
+
+  CorrelationGraph();  // default Config
+  explicit CorrelationGraph(Config cfg) : cfg_(cfg) {}
+
+  /// Ensures a node exists for `f`; grows the dense node table as needed.
+  void touch(FileId f);
+
+  /// Records one access of `f` (increments N_f). Creates the node if new.
+  void record_access(FileId f);
+
+  /// Adds LDA weight to edge pred -> succ, creating it if absent. If the
+  /// successor set is full, the weakest edge is evicted when its weight is
+  /// below `weight`. Returns false if the edge was not inserted.
+  bool add_transition(FileId pred, FileId succ, double weight);
+
+  /// N_A: total recorded accesses of `f` (0 if unknown).
+  [[nodiscard]] std::uint64_t access_count(FileId f) const noexcept;
+
+  /// N_AB for the edge, 0 if absent.
+  [[nodiscard]] double edge_weight(FileId pred, FileId succ) const noexcept;
+
+  /// F(A,B) = N_AB / N_A; 0 when N_A == 0.
+  [[nodiscard]] double access_frequency(FileId pred,
+                                        FileId succ) const noexcept;
+
+  /// Successor edges of `f` (unordered). Empty span for unknown files.
+  [[nodiscard]] const SmallVector<SuccessorEdge, 8>& successors(
+      FileId f) const noexcept;
+
+  /// Mutable Correlator List of `f` (maintained sorted by CoMiner).
+  [[nodiscard]] SmallVector<Correlator, 4>& correlators(FileId f);
+  [[nodiscard]] const SmallVector<Correlator, 4>& correlators(
+      FileId f) const noexcept;
+
+  /// Replaces/inserts `c` in f's Correlator List keeping it sorted by
+  /// descending degree and capped at `correlator_capacity`. An existing
+  /// entry for the same file is updated in place (and re-sorted).
+  void upsert_correlator(FileId f, Correlator c);
+
+  /// Removes the entry for `succ` from f's list if present.
+  void remove_correlator(FileId f, FileId succ);
+
+  [[nodiscard]] std::size_t node_count() const noexcept {
+    return nodes_.size();
+  }
+  [[nodiscard]] std::size_t edge_count() const noexcept { return edges_; }
+  [[nodiscard]] const Config& config() const noexcept { return cfg_; }
+
+  /// Approximate heap + table footprint in bytes (Table 4 accounting):
+  /// node table, successor sets, correlator lists.
+  [[nodiscard]] std::size_t footprint_bytes() const noexcept;
+
+ private:
+  struct Node {
+    std::uint64_t access_count = 0;
+    SmallVector<SuccessorEdge, 8> successors;
+    SmallVector<Correlator, 4> correlator_list;
+  };
+
+  [[nodiscard]] const Node* find(FileId f) const noexcept {
+    const auto i = static_cast<std::size_t>(f.value());
+    return i < nodes_.size() ? &nodes_[i] : nullptr;
+  }
+  [[nodiscard]] Node& at(FileId f) {
+    touch(f);
+    return nodes_[f.value()];
+  }
+
+  Config cfg_;
+  std::vector<Node> nodes_;  // dense by FileId
+  std::size_t edges_ = 0;
+};
+
+}  // namespace farmer

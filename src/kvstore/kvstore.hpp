@@ -1,0 +1,41 @@
+// Key-value store interface — the Berkeley DB stand-in.
+//
+// HUSt stores file/object metadata and FARMER's Correlator Lists in
+// Berkeley DB; this library provides the same role with two engines:
+//   * BTreeStore  — in-memory B+tree with ordered iteration (btree.hpp)
+//   * LogStore    — append-only persistent log + in-memory index with
+//                   crash recovery (log_store.hpp)
+// Keys are 64-bit; values are opaque byte strings.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace farmer {
+
+class KvStore {
+ public:
+  virtual ~KvStore() = default;
+
+  /// Inserts or overwrites.
+  virtual void put(std::uint64_t key, std::string_view value) = 0;
+
+  /// Point lookup.
+  [[nodiscard]] virtual std::optional<std::string> get(
+      std::uint64_t key) const = 0;
+
+  /// Deletes if present; returns whether a value was removed.
+  virtual bool erase(std::uint64_t key) = 0;
+
+  [[nodiscard]] virtual std::size_t size() const = 0;
+
+  /// In-order scan over [lo, hi]; `fn` returns false to stop early.
+  virtual void scan(std::uint64_t lo, std::uint64_t hi,
+                    const std::function<bool(std::uint64_t,
+                                             std::string_view)>& fn) const = 0;
+};
+
+}  // namespace farmer

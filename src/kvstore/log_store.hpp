@@ -1,0 +1,58 @@
+// Append-only persistent log store with crash recovery.
+//
+// Every put/erase appends a checksummed record to a log file; an in-memory
+// hash index maps keys to their latest value. On open, the log is replayed
+// to rebuild the index; a torn tail (partial final record or bad checksum)
+// is truncated, matching the write-ahead-log discipline Berkeley DB applies.
+// `compact()` rewrites the log keeping only live entries.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <unordered_map>
+
+#include "kvstore/kvstore.hpp"
+
+namespace farmer {
+
+class LogStore final : public KvStore {
+ public:
+  /// Opens (creating if needed) the log at `path` and replays it.
+  /// Throws std::runtime_error on unrecoverable I/O errors.
+  explicit LogStore(std::string path);
+  ~LogStore() override;
+  LogStore(const LogStore&) = delete;
+  LogStore& operator=(const LogStore&) = delete;
+
+  void put(std::uint64_t key, std::string_view value) override;
+  [[nodiscard]] std::optional<std::string> get(
+      std::uint64_t key) const override;
+  bool erase(std::uint64_t key) override;
+  [[nodiscard]] std::size_t size() const override { return index_.size(); }
+  void scan(std::uint64_t lo, std::uint64_t hi,
+            const std::function<bool(std::uint64_t, std::string_view)>& fn)
+      const override;
+
+  /// Flushes buffered appends to the OS.
+  void sync();
+
+  /// Rewrites the log with only live records; returns reclaimed bytes.
+  std::size_t compact();
+
+  /// Number of log records replayed by the constructor (tests/recovery).
+  [[nodiscard]] std::size_t recovered_records() const noexcept {
+    return recovered_;
+  }
+
+ private:
+  void append(std::uint8_t op, std::uint64_t key, std::string_view value);
+  void replay();
+
+  std::string path_;
+  std::FILE* file_ = nullptr;
+  std::unordered_map<std::uint64_t, std::string> index_;
+  std::size_t recovered_ = 0;
+  std::size_t dead_bytes_ = 0;
+};
+
+}  // namespace farmer

@@ -1,0 +1,108 @@
+#include "layout/layout.hpp"
+
+#include <cassert>
+
+namespace farmer {
+
+namespace {
+
+std::uint64_t blocks_for(const FileMeta& meta, const LayoutConfig& cfg) {
+  return (static_cast<std::uint64_t>(meta.size_bytes) + cfg.block_size - 1) /
+             cfg.block_size +
+         1;  // +1 block of metadata/indirection
+}
+
+PlacementMap make_osds(const LayoutConfig& cfg) {
+  PlacementMap map;
+  map.osds.reserve(cfg.osd_count);
+  for (std::uint32_t i = 0; i < cfg.osd_count; ++i)
+    map.osds.emplace_back(cfg.osd_capacity_blocks);
+  return map;
+}
+
+void place_file(PlacementMap& map, const TraceDictionary& dict,
+                const LayoutConfig& cfg, std::uint32_t file,
+                std::uint32_t osd) {
+  auto extent = map.osds[osd].allocate(blocks_for(dict.files[file], cfg));
+  assert(extent.has_value() && "OSD capacity exhausted");
+  map.of_file[file] = {osd, extent.value_or(Extent{})};
+}
+
+}  // namespace
+
+PlacementMap place_scatter(const TraceDictionary& dict,
+                           const LayoutConfig& cfg) {
+  PlacementMap map = make_osds(cfg);
+  map.of_file.resize(dict.files.size());
+  for (std::uint32_t f = 0; f < dict.files.size(); ++f)
+    place_file(map, dict, cfg, f, f % cfg.osd_count);
+  return map;
+}
+
+PlacementMap place_grouped(const TraceDictionary& dict,
+                           const GroupingResult& groups,
+                           const LayoutConfig& cfg) {
+  PlacementMap map = make_osds(cfg);
+  map.of_file.resize(dict.files.size());
+  std::vector<bool> placed(dict.files.size(), false);
+
+  // Each multi-file group lands contiguously on one OSD (round-robin over
+  // OSDs to balance load).
+  std::uint32_t next_osd = 0;
+  for (const auto& members : groups.groups) {
+    const std::uint32_t osd = next_osd;
+    next_osd = (next_osd + 1) % cfg.osd_count;
+    for (FileId f : members) {
+      place_file(map, dict, cfg, f.value(), osd);
+      placed[f.value()] = true;
+    }
+  }
+  for (std::uint32_t f = 0; f < dict.files.size(); ++f)
+    if (!placed[f]) place_file(map, dict, cfg, f, f % cfg.osd_count);
+  return map;
+}
+
+LayoutMetrics evaluate_layout(const Trace& trace,
+                              const PlacementMap& placement,
+                              const GroupingResult* groups,
+                              const LayoutConfig& cfg) {
+  LayoutMetrics m;
+  double seek_blocks_total = 0.0;
+  double io_us = 0.0;
+  FileId prev;
+
+  const double bytes_per_block = cfg.block_size;
+  for (const TraceRecord& rec : trace.records) {
+    ++m.accesses;
+    const Placement& cur = placement.of_file[rec.file.value()];
+    io_us += static_cast<double>(cur.extent.length) *
+             cfg.transfer_per_block_us;
+    if (prev.valid() && prev != rec.file) {
+      const Placement& before = placement.of_file[prev.value()];
+      const bool grouped =
+          groups != nullptr && groups->same_group(prev, rec.file);
+      if (before.osd == cur.osd && grouped) {
+        // Same correlated group laid out contiguously: the batched read
+        // already streamed this file — sequential continuation.
+        ++m.sequential_hits;
+      } else {
+        ++m.seeks;
+        const std::uint64_t dist =
+            before.osd == cur.osd
+                ? Osd::seek_distance(before.extent.end(), cur.extent.start)
+                : cfg.osd_capacity_blocks / 2;  // cross-OSD: full reposition
+        seek_blocks_total += static_cast<double>(dist);
+        const double gb =
+            static_cast<double>(dist) * bytes_per_block / 1e9;
+        io_us += cfg.seek_base_us + gb * cfg.seek_per_gb_us;
+      }
+    }
+    prev = rec.file;
+  }
+  m.mean_seek_blocks =
+      m.seeks > 0 ? seek_blocks_total / static_cast<double>(m.seeks) : 0.0;
+  m.total_io_ms = io_us / 1000.0;
+  return m;
+}
+
+}  // namespace farmer

@@ -1,0 +1,4 @@
+#include "prefetch/fpa.hpp"
+
+// Header-only; TU anchors the target.
+namespace farmer {}

@@ -1,0 +1,89 @@
+// FPA — the FARMER-enabled Prefetching Algorithm (Section 4.1 / 5).
+//
+// FPA consults the Correlator List of the file just accessed: every entry
+// already passed the validity threshold (max_strength), so predictions are
+// the strongest correlated successors in degree order. The threshold is what
+// separates FPA from aggressive sequence-only prefetchers — "successors that
+// are not up to the mustard will not be prefetched".
+#pragma once
+
+#include <algorithm>
+
+#include "core/farmer.hpp"
+#include "prefetch/predictor.hpp"
+
+namespace farmer {
+
+class FpaPredictor final : public Predictor {
+ public:
+  /// Successor frequency below which the sequence evidence alone is too
+  /// thin to justify an I/O.
+  static constexpr double kMinReliableFrequency = 0.02;
+  /// Current-context similarity that rehabilitates a low-frequency
+  /// candidate (e.g., a per-client file matched by host/user).
+  static constexpr double kMinReferenceSimilarity = 0.25;
+
+  FpaPredictor(FarmerConfig cfg, std::shared_ptr<const TraceDictionary> dict)
+      : farmer_(cfg, std::move(dict)) {}
+
+  void observe(const TraceRecord& rec) override { farmer_.observe(rec); }
+
+  void predict(const TraceRecord& rec, std::size_t limit,
+               PredictionList& out) override {
+    const auto& list = farmer_.correlators(rec.file);
+    if (list.empty() || limit == 0) return;
+    // Re-rank the (tiny) list against the *current* request context: the
+    // stored degree reflects the context at mining time, but prefetching
+    // serves this request — candidates whose semantic vectors match the
+    // requester (same user/process/host) move up. This is the "evaluation
+    // reference" part of the model: mining is historical, reference is
+    // current.
+    struct Ranked {
+      FileId file;
+      double degree;
+    };
+    SmallVector<Ranked, 8> ranked;
+    for (const Correlator& c : list) {
+      if (c.file == rec.file) continue;
+      // A candidate seen only once has demonstrated no *exploitable*
+      // correlation yet (Section 3.2.4's validity argument): prefetching
+      // one-shot files — freshly created checkpoints, temporaries — is
+      // pure pollution, so they are skipped until they recur.
+      if (farmer_.graph().access_count(c.file) < 2) continue;
+      // Reference validity: the mined degree reflects the context at mining
+      // time; before spending an I/O the candidate must still look related
+      // — either its successor *frequency* is established, or its semantic
+      // vector matches the current requester. Entries failing both are
+      // stale (old jobs' files whose context has moved on).
+      const double freq = farmer_.graph().access_frequency(rec.file, c.file);
+      const double sim_now = farmer_.semantic_similarity(rec.file, c.file);
+      if (freq < kMinReliableFrequency && sim_now < kMinReferenceSimilarity)
+        continue;
+      const double now = farmer_.correlation_degree(rec.file, c.file);
+      // Blend mined degree with the current-reference degree so recurring
+      // pairs are not discarded merely because contexts drifted.
+      ranked.push_back(
+          {c.file, 0.5 * static_cast<double>(c.degree) + 0.5 * now});
+    }
+    std::sort(ranked.begin(), ranked.end(), [](const Ranked& a,
+                                               const Ranked& b) {
+      if (a.degree != b.degree) return a.degree > b.degree;
+      return a.file < b.file;
+    });
+    for (const Ranked& r : ranked) {
+      if (out.size() >= limit) break;
+      out.push_back(r.file);
+    }
+  }
+
+  [[nodiscard]] const char* name() const noexcept override { return "FPA"; }
+  [[nodiscard]] std::size_t footprint_bytes() const override {
+    return farmer_.footprint_bytes();
+  }
+  [[nodiscard]] const Farmer& model() const noexcept { return farmer_; }
+
+ private:
+  Farmer farmer_;
+};
+
+}  // namespace farmer

@@ -1,0 +1,4 @@
+#include "prefetch/predictor.hpp"
+
+// Interface anchor.
+namespace farmer {}

@@ -1,0 +1,50 @@
+// Prefetch predictor interface.
+//
+// A predictor observes the demand request stream and, after each request,
+// proposes files whose metadata should be prefetched. The paper's FPA and
+// all baselines (Nexus, Probability Graph, SD graph, Last/First Successor,
+// Recent Popularity, PBS, PULS) implement this interface, which keeps the
+// replay engine and the MDS policy-agnostic.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/small_vector.hpp"
+#include "common/types.hpp"
+#include "trace/record.hpp"
+
+namespace farmer {
+
+/// Bounded candidate list, best first.
+using PredictionList = SmallVector<FileId, 8>;
+
+class Predictor {
+ public:
+  virtual ~Predictor() = default;
+
+  /// Ingests one demand request (learning step).
+  virtual void observe(const TraceRecord& rec) = 0;
+
+  /// Appends up to `limit` prefetch candidates for the state after `rec`
+  /// was observed, best first. Must not propose `rec.file` itself.
+  virtual void predict(const TraceRecord& rec, std::size_t limit,
+                       PredictionList& out) = 0;
+
+  [[nodiscard]] virtual const char* name() const noexcept = 0;
+
+  /// Memory the predictor holds (Table 4-style accounting). Optional.
+  [[nodiscard]] virtual std::size_t footprint_bytes() const { return 0; }
+};
+
+/// The no-prefetch predictor (the "LRU" configuration of the paper: plain
+/// cache replacement with no prefetching at all).
+class NoopPredictor final : public Predictor {
+ public:
+  void observe(const TraceRecord&) override {}
+  void predict(const TraceRecord&, std::size_t, PredictionList&) override {}
+  [[nodiscard]] const char* name() const noexcept override { return "none"; }
+};
+
+}  // namespace farmer

@@ -1,0 +1,38 @@
+#include "prefetch/probability_graph.hpp"
+
+#include <algorithm>
+
+namespace farmer {
+
+void ProbabilityGraphPredictor::observe(const TraceRecord& rec) {
+  const FileId file = rec.file;
+  graph_.record_access(file);
+  window_.for_each_predecessor(file, [&](FileId pred, std::size_t) {
+    graph_.add_transition(pred, file, 1.0);  // uniform: no distance decay
+  });
+  window_.push(file);
+}
+
+void ProbabilityGraphPredictor::predict(const TraceRecord& rec,
+                                        std::size_t limit,
+                                        PredictionList& out) {
+  const auto opens = graph_.access_count(rec.file);
+  if (opens == 0) return;
+  struct Cand {
+    FileId f;
+    double p;
+  };
+  SmallVector<Cand, 8> cands;
+  for (const auto& e : graph_.successors(rec.file)) {
+    const double p = static_cast<double>(e.nab) / static_cast<double>(opens);
+    if (p >= cfg_.min_chance) cands.push_back({e.successor, p});
+  }
+  std::sort(cands.begin(), cands.end(), [](const Cand& a, const Cand& b) {
+    if (a.p != b.p) return a.p > b.p;
+    return a.f < b.f;
+  });
+  for (std::size_t i = 0; i < cands.size() && out.size() < limit; ++i)
+    out.push_back(cands[i].f);
+}
+
+}  // namespace farmer

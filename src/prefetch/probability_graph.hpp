@@ -1,0 +1,44 @@
+// Probability Graph baseline (Griffioen & Appleton, USENIX Summer 1994).
+//
+// Counts, for each file, how often every other file follows it within a
+// fixed look-ahead window (uniform weights — no distance decay). A successor
+// is prefetched when its estimated conditional probability
+// count(A,B)/opens(A) exceeds a minimum chance threshold.
+#pragma once
+
+#include "graph/access_window.hpp"
+#include "graph/correlation_graph.hpp"
+#include "prefetch/predictor.hpp"
+
+namespace farmer {
+
+class ProbabilityGraphPredictor final : public Predictor {
+ public:
+  struct Config {
+    std::size_t window = 2;       ///< the paper's small lookahead period
+    double min_chance = 0.1;      ///< minimum P(B|A) to prefetch
+    std::size_t max_successors = 16;
+  };
+
+  ProbabilityGraphPredictor() : ProbabilityGraphPredictor(Config{}) {}
+  explicit ProbabilityGraphPredictor(Config cfg)
+      : cfg_(cfg), graph_({cfg.max_successors, 1}), window_(cfg.window) {}
+
+  void observe(const TraceRecord& rec) override;
+  void predict(const TraceRecord& rec, std::size_t limit,
+               PredictionList& out) override;
+
+  [[nodiscard]] const char* name() const noexcept override {
+    return "ProbGraph";
+  }
+  [[nodiscard]] std::size_t footprint_bytes() const override {
+    return graph_.footprint_bytes();
+  }
+
+ private:
+  Config cfg_;
+  CorrelationGraph graph_;
+  AccessWindow window_;
+};
+
+}  // namespace farmer

@@ -1,0 +1,37 @@
+#include "prefetch/sd_graph.hpp"
+
+#include <algorithm>
+
+namespace farmer {
+
+void SdGraphPredictor::observe(const TraceRecord& rec) {
+  const FileId file = rec.file;
+  graph_.record_access(file);
+  window_.for_each_predecessor(file, [&](FileId pred, std::size_t distance) {
+    graph_.add_transition(pred, file, 1.0 / static_cast<double>(distance));
+  });
+  window_.push(file);
+}
+
+void SdGraphPredictor::predict(const TraceRecord& rec, std::size_t limit,
+                               PredictionList& out) {
+  const auto opens = graph_.access_count(rec.file);
+  if (opens == 0) return;
+  struct Cand {
+    FileId f;
+    double w;
+  };
+  SmallVector<Cand, 8> cands;
+  for (const auto& e : graph_.successors(rec.file)) {
+    const double fr = static_cast<double>(e.nab) / static_cast<double>(opens);
+    if (fr >= cfg_.min_frequency) cands.push_back({e.successor, fr});
+  }
+  std::sort(cands.begin(), cands.end(), [](const Cand& a, const Cand& b) {
+    if (a.w != b.w) return a.w > b.w;
+    return a.f < b.f;
+  });
+  for (std::size_t i = 0; i < cands.size() && out.size() < limit; ++i)
+    out.push_back(cands[i].f);
+}
+
+}  // namespace farmer

@@ -1,0 +1,46 @@
+// SD-graph baseline (Kuenning's SEER semantic-distance clustering, 1994).
+//
+// SEER estimates "semantic distance" purely from access sequences: files
+// observed close together repeatedly get a small distance. We model it as a
+// look-ahead graph whose edge weight is the accumulated inverse distance
+// (1/d for a successor at distance d) — distance-sensitive like Nexus but
+// with a harmonic rather than linear profile, and ranked by normalised
+// frequency. It also serves as the LDA-vs-alternative-decay ablation point.
+#pragma once
+
+#include "graph/access_window.hpp"
+#include "graph/correlation_graph.hpp"
+#include "prefetch/predictor.hpp"
+
+namespace farmer {
+
+class SdGraphPredictor final : public Predictor {
+ public:
+  struct Config {
+    std::size_t window = 4;
+    std::size_t max_successors = 16;
+    double min_frequency = 0.05;  ///< N_AB/N_A floor to avoid noise edges
+  };
+
+  SdGraphPredictor() : SdGraphPredictor(Config{}) {}
+  explicit SdGraphPredictor(Config cfg)
+      : cfg_(cfg), graph_({cfg.max_successors, 1}), window_(cfg.window) {}
+
+  void observe(const TraceRecord& rec) override;
+  void predict(const TraceRecord& rec, std::size_t limit,
+               PredictionList& out) override;
+
+  [[nodiscard]] const char* name() const noexcept override {
+    return "SDGraph";
+  }
+  [[nodiscard]] std::size_t footprint_bytes() const override {
+    return graph_.footprint_bytes();
+  }
+
+ private:
+  Config cfg_;
+  CorrelationGraph graph_;
+  AccessWindow window_;
+};
+
+}  // namespace farmer

@@ -1,0 +1,127 @@
+#include "prefetch/successor.hpp"
+
+#include <algorithm>
+
+namespace farmer {
+
+// ----------------------------------------------------------------- LS ----
+
+void LastSuccessorPredictor::observe(const TraceRecord& rec) {
+  if (prev_.valid() && prev_ != rec.file) last_successor_[prev_] = rec.file;
+  prev_ = rec.file;
+}
+
+void LastSuccessorPredictor::predict(const TraceRecord& rec, std::size_t limit,
+                                     PredictionList& out) {
+  if (limit == 0) return;
+  auto it = last_successor_.find(rec.file);
+  if (it != last_successor_.end() && it->second != rec.file)
+    out.push_back(it->second);
+}
+
+std::size_t LastSuccessorPredictor::footprint_bytes() const {
+  return last_successor_.size() * (sizeof(FileId) * 2 + sizeof(void*) * 2) +
+         last_successor_.bucket_count() * sizeof(void*);
+}
+
+// ----------------------------------------------------------------- FS ----
+
+void FirstSuccessorPredictor::observe(const TraceRecord& rec) {
+  if (prev_.valid() && prev_ != rec.file)
+    first_successor_.try_emplace(prev_, rec.file);  // never overwritten
+  prev_ = rec.file;
+}
+
+void FirstSuccessorPredictor::predict(const TraceRecord& rec,
+                                      std::size_t limit,
+                                      PredictionList& out) {
+  if (limit == 0) return;
+  auto it = first_successor_.find(rec.file);
+  if (it != first_successor_.end() && it->second != rec.file)
+    out.push_back(it->second);
+}
+
+std::size_t FirstSuccessorPredictor::footprint_bytes() const {
+  return first_successor_.size() * (sizeof(FileId) * 2 + sizeof(void*) * 2) +
+         first_successor_.bucket_count() * sizeof(void*);
+}
+
+// ---------------------------------------------------- Recent Popularity --
+
+void RecentPopularityPredictor::observe(const TraceRecord& rec) {
+  if (prev_.valid() && prev_ != rec.file) {
+    auto& h = history_[prev_];
+    if (h.size() >= cfg_.k) h.erase_at(0);
+    h.push_back(rec.file);
+  }
+  prev_ = rec.file;
+}
+
+void RecentPopularityPredictor::predict(const TraceRecord& rec,
+                                        std::size_t limit,
+                                        PredictionList& out) {
+  if (limit == 0) return;
+  auto it = history_.find(rec.file);
+  if (it == history_.end()) return;
+  const auto& h = it->second;
+  // Most common entry of the last k successors, requiring multiplicity j
+  // (best-j-out-of-k); ties resolved toward the most recent.
+  FileId best;
+  std::size_t best_count = 0;
+  for (std::size_t i = h.size(); i-- > 0;) {
+    std::size_t count = 0;
+    for (const FileId f : h)
+      if (f == h[i]) ++count;
+    if (count > best_count) {
+      best = h[i];
+      best_count = count;
+    }
+  }
+  if (best_count >= cfg_.j && best.valid() && best != rec.file)
+    out.push_back(best);
+}
+
+std::size_t RecentPopularityPredictor::footprint_bytes() const {
+  std::size_t bytes = history_.bucket_count() * sizeof(void*);
+  bytes += history_.size() *
+           (sizeof(FileId) + sizeof(SmallVector<FileId, 4>) +
+            sizeof(void*) * 2);
+  return bytes;
+}
+
+// ----------------------------------------------------------- PBS / PULS --
+
+std::uint64_t ContextualLastSuccessorPredictor::context_key(
+    const TraceRecord& rec) const {
+  std::uint64_t key = mix64(rec.program_token.value());
+  if (mode_ == Mode::kProgramUser)
+    key ^= mix64(static_cast<std::uint64_t>(rec.user_token.value()) + 0x517C);
+  return key;
+}
+
+void ContextualLastSuccessorPredictor::observe(const TraceRecord& rec) {
+  const std::uint64_t ctx = context_key(rec);
+  auto it = prev_in_context_.find(ctx);
+  if (it != prev_in_context_.end() && it->second != rec.file)
+    last_successor_[{ctx, it->second}] = rec.file;
+  prev_in_context_[ctx] = rec.file;
+}
+
+void ContextualLastSuccessorPredictor::predict(const TraceRecord& rec,
+                                               std::size_t limit,
+                                               PredictionList& out) {
+  if (limit == 0) return;
+  auto it = last_successor_.find({context_key(rec), rec.file});
+  if (it != last_successor_.end() && it->second != rec.file)
+    out.push_back(it->second);
+}
+
+std::size_t ContextualLastSuccessorPredictor::footprint_bytes() const {
+  return last_successor_.size() *
+             (sizeof(std::uint64_t) + sizeof(FileId) * 2 + sizeof(void*) * 2) +
+         last_successor_.bucket_count() * sizeof(void*) +
+         prev_in_context_.size() *
+             (sizeof(std::uint64_t) + sizeof(FileId) + sizeof(void*) * 2);
+}
+
+}  // namespace farmer

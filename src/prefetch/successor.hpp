@@ -1,0 +1,99 @@
+// Successor-model baselines from the file-prediction literature:
+//
+//   * Last Successor  (LS)  — predict the file that followed A last time.
+//   * First Successor (FS)  — predict the file that followed A first, ever.
+//   * Recent Popularity (best-j-of-k, Amer & Long IPCCC'02) — predict the
+//     most common file among A's last k successors if it appears >= j times.
+//   * PBS  (Yeh, Long, Brandt ISPASS'01) — LS conditioned on the program:
+//     separate successor tables per program token.
+//   * PULS — LS conditioned on (program, user).
+//
+// The paper points out these break down in multi-user, multi-process
+// environments because interleaving corrupts the notion of "successor";
+// PBS/PULS partially repair that with program/user context, and FARMER
+// generalises the idea to arbitrary attribute combinations.
+#pragma once
+
+#include <unordered_map>
+
+#include "common/hash.hpp"
+#include "prefetch/predictor.hpp"
+
+namespace farmer {
+
+class LastSuccessorPredictor final : public Predictor {
+ public:
+  void observe(const TraceRecord& rec) override;
+  void predict(const TraceRecord& rec, std::size_t limit,
+               PredictionList& out) override;
+  [[nodiscard]] const char* name() const noexcept override { return "LS"; }
+  [[nodiscard]] std::size_t footprint_bytes() const override;
+
+ private:
+  std::unordered_map<FileId, FileId> last_successor_;
+  FileId prev_;
+};
+
+class FirstSuccessorPredictor final : public Predictor {
+ public:
+  void observe(const TraceRecord& rec) override;
+  void predict(const TraceRecord& rec, std::size_t limit,
+               PredictionList& out) override;
+  [[nodiscard]] const char* name() const noexcept override { return "FS"; }
+  [[nodiscard]] std::size_t footprint_bytes() const override;
+
+ private:
+  std::unordered_map<FileId, FileId> first_successor_;
+  FileId prev_;
+};
+
+class RecentPopularityPredictor final : public Predictor {
+ public:
+  struct Config {
+    std::size_t k = 4;  ///< history length per file
+    std::size_t j = 2;  ///< required multiplicity to predict
+  };
+  RecentPopularityPredictor() : RecentPopularityPredictor(Config{}) {}
+  explicit RecentPopularityPredictor(Config cfg) : cfg_(cfg) {}
+
+  void observe(const TraceRecord& rec) override;
+  void predict(const TraceRecord& rec, std::size_t limit,
+               PredictionList& out) override;
+  [[nodiscard]] const char* name() const noexcept override {
+    return "RecentPop";
+  }
+  [[nodiscard]] std::size_t footprint_bytes() const override;
+
+ private:
+  Config cfg_;
+  std::unordered_map<FileId, SmallVector<FileId, 4>> history_;
+  FileId prev_;
+};
+
+/// LS conditioned on a context key (program for PBS; program+user for PULS).
+class ContextualLastSuccessorPredictor final : public Predictor {
+ public:
+  enum class Mode { kProgram, kProgramUser };
+
+  explicit ContextualLastSuccessorPredictor(Mode mode) : mode_(mode) {}
+
+  void observe(const TraceRecord& rec) override;
+  void predict(const TraceRecord& rec, std::size_t limit,
+               PredictionList& out) override;
+  [[nodiscard]] const char* name() const noexcept override {
+    return mode_ == Mode::kProgram ? "PBS" : "PULS";
+  }
+  [[nodiscard]] std::size_t footprint_bytes() const override;
+
+ private:
+  [[nodiscard]] std::uint64_t context_key(const TraceRecord& rec) const;
+
+  Mode mode_;
+  // (context, file) -> last successor within that context.
+  std::unordered_map<std::pair<std::uint64_t, FileId>, FileId, PairHash>
+      last_successor_;
+  // context -> previous file seen in that context.
+  std::unordered_map<std::uint64_t, FileId> prev_in_context_;
+};
+
+}  // namespace farmer

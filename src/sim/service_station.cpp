@@ -1,0 +1,48 @@
+#include "sim/service_station.hpp"
+
+namespace farmer {
+
+void ServiceStation::submit(int priority, SimTime service_time,
+                            Completion done) {
+  Job job{sim_.now(), service_time, std::move(done)};
+  if (priority == kDemand)
+    demand_q_.push_back(std::move(job));
+  else
+    prefetch_q_.push_back(std::move(job));
+  try_dispatch();
+}
+
+void ServiceStation::try_dispatch() {
+  while (free_servers_ > 0) {
+    if (!demand_q_.empty()) {
+      Job job = std::move(demand_q_.front());
+      demand_q_.pop_front();
+      start(std::move(job), kDemand);
+    } else if (!prefetch_q_.empty()) {
+      Job job = std::move(prefetch_q_.front());
+      prefetch_q_.pop_front();
+      start(std::move(job), kPrefetch);
+    } else {
+      break;
+    }
+  }
+}
+
+void ServiceStation::start(Job job, int priority) {
+  --free_servers_;
+  ++busy_;
+  const auto wait = static_cast<double>(sim_.now() - job.enqueue_time);
+  (priority == kDemand ? demand_wait_ : prefetch_wait_).add(wait);
+  // Move the completion into the event; the station's own bookkeeping event
+  // runs first (same timestamp, earlier sequence) to free the server.
+  sim_.schedule_after(job.service_time,
+                      [this, done = std::move(job.done)]() mutable {
+                        ++free_servers_;
+                        --busy_;
+                        ++completed_;
+                        if (done) done();
+                        try_dispatch();
+                      });
+}
+
+}  // namespace farmer

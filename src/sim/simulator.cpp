@@ -1,0 +1,30 @@
+#include "sim/simulator.hpp"
+
+namespace farmer {
+
+void Simulator::schedule_at(SimTime at, Callback cb) {
+  if (at < now_) at = now_;
+  queue_.push({at, next_seq_++, std::move(cb)});
+}
+
+std::size_t Simulator::run() { return run_until(INT64_MAX); }
+
+std::size_t Simulator::run_until(SimTime deadline) {
+  std::size_t n = 0;
+  while (!queue_.empty()) {
+    if (queue_.top().at > deadline) break;
+    // priority_queue::top() is const; the callback must be moved out before
+    // pop, so copy the POD fields first and steal the callback via const_cast
+    // — safe because the element is popped immediately after.
+    auto& top = const_cast<Event&>(queue_.top());
+    now_ = top.at;
+    Callback cb = std::move(top.cb);
+    queue_.pop();
+    cb();
+    ++n;
+    ++executed_;
+  }
+  return n;
+}
+
+}  // namespace farmer

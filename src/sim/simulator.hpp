@@ -1,0 +1,60 @@
+// Discrete-event simulation engine.
+//
+// A single-threaded event loop over a (time, sequence) min-heap. Events are
+// arbitrary callbacks; the sequence number makes simultaneous events fire in
+// scheduling order, which keeps every run bit-reproducible.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace farmer {
+
+class Simulator {
+ public:
+  using Callback = std::function<void()>;
+
+  /// Current simulated time (µs).
+  [[nodiscard]] SimTime now() const noexcept { return now_; }
+
+  /// Schedules `cb` to run at absolute time `at` (clamped to now).
+  void schedule_at(SimTime at, Callback cb);
+
+  /// Schedules `cb` after `delay` µs.
+  void schedule_after(SimTime delay, Callback cb) {
+    schedule_at(now_ + (delay < 0 ? 0 : delay), std::move(cb));
+  }
+
+  /// Runs until the event queue drains. Returns events executed.
+  std::size_t run();
+
+  /// Runs until the queue drains or simulated time passes `deadline`.
+  std::size_t run_until(SimTime deadline);
+
+  [[nodiscard]] std::size_t pending() const noexcept { return queue_.size(); }
+  [[nodiscard]] std::size_t executed() const noexcept { return executed_; }
+
+ private:
+  struct Event {
+    SimTime at;
+    std::uint64_t seq;
+    Callback cb;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const noexcept {
+      if (a.at != b.at) return a.at > b.at;
+      return a.seq > b.seq;
+    }
+  };
+
+  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+  SimTime now_ = 0;
+  std::uint64_t next_seq_ = 0;
+  std::size_t executed_ = 0;
+};
+
+}  // namespace farmer

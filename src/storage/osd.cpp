@@ -1,0 +1,48 @@
+#include "storage/osd.hpp"
+
+namespace farmer {
+
+std::optional<Extent> Osd::allocate(std::uint64_t blocks) {
+  if (blocks == 0) return Extent{0, 0};
+  for (auto it = free_.begin(); it != free_.end(); ++it) {
+    if (it->second < blocks) continue;
+    Extent e{it->first, blocks};
+    const std::uint64_t rem_start = it->first + blocks;
+    const std::uint64_t rem_len = it->second - blocks;
+    free_.erase(it);
+    if (rem_len > 0) free_.emplace(rem_start, rem_len);
+    allocated_ += blocks;
+    return e;
+  }
+  return std::nullopt;
+}
+
+void Osd::free_extent(Extent e) {
+  if (e.length == 0) return;
+  allocated_ -= e.length;
+  auto [it, inserted] = free_.emplace(e.start, e.length);
+  if (!inserted) return;  // double free: ignore defensively
+  // Coalesce with successor.
+  auto next = std::next(it);
+  if (next != free_.end() && it->first + it->second == next->first) {
+    it->second += next->second;
+    free_.erase(next);
+  }
+  // Coalesce with predecessor.
+  if (it != free_.begin()) {
+    auto prev = std::prev(it);
+    if (prev->first + prev->second == it->first) {
+      prev->second += it->second;
+      free_.erase(it);
+    }
+  }
+}
+
+std::uint64_t Osd::largest_free() const noexcept {
+  std::uint64_t best = 0;
+  for (const auto& [start, len] : free_)
+    if (len > best) best = len;
+  return best;
+}
+
+}  // namespace farmer

@@ -1,0 +1,30 @@
+// Synthetic trace generation.
+//
+// The generator reproduces the *structure* of the four studied traces rather
+// than their bytes (see DESIGN.md): a namespace of correlated file groups
+// owned by users, accessed by process sessions that sweep their group in a
+// canonical order with skip/swap jitter and injected noise, all interleaved
+// by overlapping session arrivals. LLNL-style profiles instead run parallel
+// jobs whose ranks hammer shared input sets and private checkpoint files.
+//
+// Generation is deterministic for a given (profile, seed): session event
+// streams are produced in parallel from split RNG streams and merged with a
+// stable order.
+#pragma once
+
+#include <cstdint>
+
+#include "trace/profile.hpp"
+#include "trace/record.hpp"
+
+namespace farmer {
+
+/// Generates a complete trace. Thread-safe w.r.t. other generator calls.
+[[nodiscard]] Trace generate_trace(const WorkloadProfile& profile,
+                                   std::uint64_t seed);
+
+/// Convenience: the four paper traces at the default experiment scale.
+[[nodiscard]] Trace make_paper_trace(TraceKind kind, std::uint64_t seed,
+                                     double scale = 1.0);
+
+}  // namespace farmer

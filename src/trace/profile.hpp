@@ -1,0 +1,70 @@
+// Workload profiles for the four paper traces.
+//
+// The original LLNL / INS / RES / HP traces are not publicly available, so
+// the generator synthesises streams with the structure each trace is
+// documented to have (see DESIGN.md, substitution table). Every knob that
+// shapes the correlation structure is explicit here so experiments can
+// ablate it.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "trace/record.hpp"
+
+namespace farmer {
+
+struct WorkloadProfile {
+  std::string name;
+  TraceKind kind = TraceKind::kCustom;
+
+  // ---- population ----
+  std::uint32_t users = 32;
+  std::uint32_t hosts = 16;
+  std::uint32_t programs = 12;    ///< distinct program names
+  std::uint32_t volumes = 16;     ///< devices files are spread over
+
+  // ---- namespace / correlation groups ----
+  std::uint32_t groups = 200;          ///< ground-truth correlated file sets
+  std::uint32_t files_per_group_min = 4;
+  std::uint32_t files_per_group_max = 16;
+  std::uint32_t scratch_files = 500;   ///< uncorrelated singleton files
+  bool has_paths = true;               ///< HP/LLNL expose full paths
+  double group_zipf_s = 0.9;           ///< group popularity skew
+  std::uint32_t groups_per_user = 8;   ///< user's affinity set size
+
+  // ---- session behaviour ----
+  std::uint32_t sessions = 2000;       ///< number of process sessions
+  std::uint32_t passes_min = 1;        ///< passes over the group per session
+  std::uint32_t passes_max = 3;
+  double skip_probability = 0.08;      ///< member skipped in a pass
+  double swap_probability = 0.08;      ///< adjacent-order jitter
+  double noise_probability = 0.06;     ///< random unrelated access injected
+  double mean_think_time_us = 20'000;  ///< gap between a session's accesses
+  double session_arrival_rate = 20.0;  ///< sessions per simulated second;
+                                       ///< higher => more interleaving noise
+
+  // ---- LLNL-style parallel jobs (used when kind == kLLNL) ----
+  std::uint32_t jobs = 0;              ///< 0 disables job mode
+  std::uint32_t ranks_per_job = 32;
+  std::uint32_t shared_inputs_per_app = 12;
+  std::uint32_t checkpoint_cycles = 3;
+  std::uint32_t slices_per_rank = 2;   ///< private N-N input slices per rank
+
+  // ---- file properties ----
+  double file_size_mu = 11.5;   ///< lognormal ln-mean  (~100 KB median)
+  double file_size_sigma = 1.2;
+  double read_only_fraction = 0.7;
+
+  /// Scales event-volume knobs (sessions/jobs/groups) by `f`, keeping the
+  /// population fixed. Tests run tiny scales; benches run scale 1.
+  [[nodiscard]] WorkloadProfile scaled(double f) const;
+
+  // ---- the four paper presets ----
+  [[nodiscard]] static WorkloadProfile llnl();
+  [[nodiscard]] static WorkloadProfile ins();
+  [[nodiscard]] static WorkloadProfile res();
+  [[nodiscard]] static WorkloadProfile hp();
+};
+
+}  // namespace farmer

@@ -1,0 +1,149 @@
+#include "trace/trace_io.hpp"
+
+#include <cstring>
+#include <fstream>
+#include <ostream>
+#include <stdexcept>
+
+namespace farmer {
+
+namespace {
+
+constexpr std::uint32_t kMagic = 0xFA12ACE5;
+constexpr std::uint32_t kVersion = 2;
+
+template <typename T>
+void put(std::ostream& os, const T& v) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  os.write(reinterpret_cast<const char*>(&v), sizeof(T));
+}
+
+template <typename T>
+T get(std::istream& is) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  T v{};
+  is.read(reinterpret_cast<char*>(&v), sizeof(T));
+  if (!is) throw std::runtime_error("trace file truncated");
+  return v;
+}
+
+void put_string(std::ostream& os, std::string_view s) {
+  put<std::uint32_t>(os, static_cast<std::uint32_t>(s.size()));
+  os.write(s.data(), static_cast<std::streamsize>(s.size()));
+}
+
+std::string get_string(std::istream& is) {
+  const auto n = get<std::uint32_t>(is);
+  std::string s(n, '\0');
+  is.read(s.data(), n);
+  if (!is) throw std::runtime_error("trace file truncated");
+  return s;
+}
+
+}  // namespace
+
+void write_trace_binary(const Trace& trace, const std::string& path) {
+  std::ofstream os(path, std::ios::binary | std::ios::trunc);
+  if (!os) throw std::runtime_error("cannot open for write: " + path);
+  put(os, kMagic);
+  put(os, kVersion);
+  put_string(os, trace.name);
+  put<std::uint8_t>(os, static_cast<std::uint8_t>(trace.kind));
+  put<std::uint8_t>(os, trace.has_paths ? 1 : 0);
+
+  const TraceDictionary& d = *trace.dict;
+  put<std::uint32_t>(os, static_cast<std::uint32_t>(d.tokens.size()));
+  for (std::uint32_t i = 0; i < d.tokens.size(); ++i)
+    put_string(os, d.tokens.resolve(TokenId(i)));
+
+  put<std::uint32_t>(os, static_cast<std::uint32_t>(d.paths.size()));
+  for (const auto& comps : d.paths) {
+    put<std::uint8_t>(os, static_cast<std::uint8_t>(comps.size()));
+    for (TokenId t : comps) put<std::uint32_t>(os, t.value());
+  }
+
+  put<std::uint32_t>(os, static_cast<std::uint32_t>(d.files.size()));
+  for (const FileMeta& f : d.files) {
+    put<std::uint32_t>(os, f.path.value());
+    put<std::uint32_t>(os, f.dev.value());
+    put<std::uint32_t>(os, f.fid.value());
+    put<std::uint32_t>(os, f.group);
+    put<std::uint32_t>(os, f.size_bytes);
+    put<std::uint8_t>(os, f.read_only ? 1 : 0);
+  }
+
+  put<std::uint64_t>(os, trace.records.size());
+  for (const TraceRecord& r : trace.records) put(os, r);
+  if (!os) throw std::runtime_error("short write: " + path);
+}
+
+Trace read_trace_binary(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  if (!is) throw std::runtime_error("cannot open for read: " + path);
+  if (get<std::uint32_t>(is) != kMagic)
+    throw std::runtime_error("not a farmer trace: " + path);
+  if (get<std::uint32_t>(is) != kVersion)
+    throw std::runtime_error("unsupported trace version: " + path);
+
+  Trace trace;
+  trace.name = get_string(is);
+  trace.kind = static_cast<TraceKind>(get<std::uint8_t>(is));
+  trace.has_paths = get<std::uint8_t>(is) != 0;
+  trace.dict = std::make_shared<TraceDictionary>();
+  TraceDictionary& d = *trace.dict;
+
+  const auto ntokens = get<std::uint32_t>(is);
+  for (std::uint32_t i = 0; i < ntokens; ++i) {
+    const TokenId id = d.tokens.intern(get_string(is));
+    if (id.value() != i)
+      throw std::runtime_error("token table corrupt (duplicate strings)");
+  }
+
+  const auto npaths = get<std::uint32_t>(is);
+  d.paths.reserve(npaths);
+  for (std::uint32_t i = 0; i < npaths; ++i) {
+    const auto ncomp = get<std::uint8_t>(is);
+    SmallVector<TokenId, 8> comps;
+    for (std::uint8_t c = 0; c < ncomp; ++c)
+      comps.push_back(TokenId(get<std::uint32_t>(is)));
+    (void)d.add_path(std::move(comps));
+  }
+
+  const auto nfiles = get<std::uint32_t>(is);
+  d.files.reserve(nfiles);
+  for (std::uint32_t i = 0; i < nfiles; ++i) {
+    FileMeta f;
+    f.path = PathId(get<std::uint32_t>(is));
+    f.dev = TokenId(get<std::uint32_t>(is));
+    f.fid = TokenId(get<std::uint32_t>(is));
+    f.group = get<std::uint32_t>(is);
+    f.size_bytes = get<std::uint32_t>(is);
+    f.read_only = get<std::uint8_t>(is) != 0;
+    d.files.push_back(f);
+  }
+
+  const auto nrecords = get<std::uint64_t>(is);
+  trace.records.reserve(nrecords);
+  for (std::uint64_t i = 0; i < nrecords; ++i)
+    trace.records.push_back(get<TraceRecord>(is));
+  return trace;
+}
+
+void write_trace_tsv(const Trace& trace, std::ostream& os,
+                     std::size_t max_records) {
+  const TraceDictionary& d = *trace.dict;
+  os << "timestamp_us\tfile\tuser\tpid\thost\tprogram\tpath\top\n";
+  std::size_t n = 0;
+  for (const TraceRecord& r : trace.records) {
+    if (n++ >= max_records) break;
+    os << r.timestamp << '\t' << r.file.value() << '\t'
+       << d.tokens.resolve(r.user_token) << '\t'
+       << d.tokens.resolve(r.process_token) << '\t'
+       << d.tokens.resolve(r.host_token) << '\t'
+       << d.tokens.resolve(r.program_token) << '\t'
+       << (r.path.valid() ? d.path_string(r.path) : std::string("-")) << '\t'
+       << static_cast<int>(r.op) << '\n';
+  }
+}
+
+}  // namespace farmer

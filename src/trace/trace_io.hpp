@@ -1,0 +1,27 @@
+// Trace persistence.
+//
+// Binary format (little-endian, versioned): dictionary (tokens, paths, file
+// metadata) followed by the record stream. A text (TSV) exporter is provided
+// for eyeballing traces and for interoperability with external tooling.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "trace/record.hpp"
+
+namespace farmer {
+
+/// Writes `trace` in the binary format. Throws std::runtime_error on I/O
+/// failure.
+void write_trace_binary(const Trace& trace, const std::string& path);
+
+/// Reads a trace previously written by `write_trace_binary`. Throws
+/// std::runtime_error on I/O failure or format mismatch.
+[[nodiscard]] Trace read_trace_binary(const std::string& path);
+
+/// Streams a human-readable TSV rendering (header + one row per record).
+void write_trace_tsv(const Trace& trace, std::ostream& os,
+                     std::size_t max_records = SIZE_MAX);
+
+}  // namespace farmer

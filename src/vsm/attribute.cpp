@@ -1,0 +1,66 @@
+#include "vsm/attribute.hpp"
+
+namespace farmer {
+
+const char* attribute_name(Attribute a) noexcept {
+  switch (a) {
+    case Attribute::kUser:
+      return "User";
+    case Attribute::kProcess:
+      return "Process";
+    case Attribute::kHost:
+      return "Host";
+    case Attribute::kPath:
+      return "File Path";
+    case Attribute::kFileId:
+      return "File ID";
+  }
+  return "?";
+}
+
+std::string mask_to_string(AttributeMask mask) {
+  std::string out = "{";
+  bool first = true;
+  for (Attribute a : {Attribute::kUser, Attribute::kProcess, Attribute::kHost,
+                      Attribute::kPath, Attribute::kFileId}) {
+    if (!mask.has(a)) continue;
+    if (!first) out += ", ";
+    out += attribute_name(a);
+    first = false;
+  }
+  out += "}";
+  return out;
+}
+
+std::vector<AttributeCombination> paper_attribute_combinations(bool use_path) {
+  const Attribute loc = use_path ? Attribute::kPath : Attribute::kFileId;
+  const std::string loc_name = attribute_name(loc);
+  using A = Attribute;
+  // Row order follows Table 5 in the paper.
+  std::vector<AttributeCombination> rows;
+  auto add = [&rows](std::string label, AttributeMask m) {
+    rows.push_back({std::move(label), m});
+  };
+  add("{User}", {A::kUser});
+  add("{Process}", {A::kProcess});
+  add("{Host}", {A::kHost});
+  add("{" + loc_name + "}", AttributeMask{} | loc);
+  add("{User, " + loc_name + "}", AttributeMask{A::kUser} | loc);
+  add("{Process, " + loc_name + "}", AttributeMask{A::kProcess} | loc);
+  add("{User, Process}", {A::kUser, A::kProcess});
+  add("{Host, Process}", {A::kHost, A::kProcess});
+  add("{Host, User}", {A::kHost, A::kUser});
+  add("{Host, " + loc_name + "}", AttributeMask{A::kHost} | loc);
+  add("{Host, Process, " + loc_name + "}",
+      AttributeMask{A::kHost, A::kProcess} | loc);
+  add("{Host, User, " + loc_name + "}",
+      AttributeMask{A::kHost, A::kUser} | loc);
+  add("{User, Process, " + loc_name + "}",
+      AttributeMask{A::kUser, A::kProcess} | loc);
+  add("{Host, Process, User}", {A::kHost, A::kProcess, A::kUser});
+  add("{Host, User, Process, " + loc_name + "}",
+      AttributeMask{A::kHost, A::kUser, A::kProcess} | loc);
+  return rows;
+}
+
+}  // namespace farmer

@@ -1,0 +1,85 @@
+// Semantic attribute kinds and attribute-combination masks.
+//
+// The paper evaluates fifteen combinations of four attributes per trace
+// (Table 5 / "Figure 5"): {User, Process, Host, File Path} for the HP trace
+// and {User, Process, Host, File ID} for INS/RES (which lack path
+// information). A mask selects which attributes participate in the semantic
+// vector for a given experiment.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace farmer {
+
+enum class Attribute : std::uint8_t {
+  kUser = 1u << 0,
+  kProcess = 1u << 1,
+  kHost = 1u << 2,
+  kPath = 1u << 3,    ///< full file path (HP / LLNL style traces)
+  kFileId = 1u << 4,  ///< device + fid pair (INS / RES style traces)
+};
+
+/// Bitmask of `Attribute` values.
+class AttributeMask {
+ public:
+  constexpr AttributeMask() noexcept = default;
+  constexpr explicit AttributeMask(std::uint8_t bits) noexcept : bits_(bits) {}
+  constexpr AttributeMask(std::initializer_list<Attribute> attrs) noexcept {
+    for (Attribute a : attrs) bits_ |= static_cast<std::uint8_t>(a);
+  }
+
+  [[nodiscard]] constexpr bool has(Attribute a) const noexcept {
+    return (bits_ & static_cast<std::uint8_t>(a)) != 0;
+  }
+  [[nodiscard]] constexpr std::uint8_t bits() const noexcept { return bits_; }
+  [[nodiscard]] constexpr bool empty() const noexcept { return bits_ == 0; }
+
+  constexpr AttributeMask& operator|=(Attribute a) noexcept {
+    bits_ |= static_cast<std::uint8_t>(a);
+    return *this;
+  }
+  friend constexpr AttributeMask operator|(AttributeMask m,
+                                           Attribute a) noexcept {
+    m |= a;
+    return m;
+  }
+  friend constexpr bool operator==(AttributeMask a, AttributeMask b) noexcept {
+    return a.bits_ == b.bits_;
+  }
+
+  /// All four attributes with a full path (HP/LLNL experiments).
+  [[nodiscard]] static constexpr AttributeMask all_with_path() noexcept {
+    return AttributeMask{Attribute::kUser, Attribute::kProcess,
+                         Attribute::kHost, Attribute::kPath};
+  }
+  /// All four attributes with file-id locality (INS/RES experiments).
+  [[nodiscard]] static constexpr AttributeMask all_with_fileid() noexcept {
+    return AttributeMask{Attribute::kUser, Attribute::kProcess,
+                         Attribute::kHost, Attribute::kFileId};
+  }
+
+ private:
+  std::uint8_t bits_ = 0;
+};
+
+/// A named attribute combination (one row of Table 5).
+struct AttributeCombination {
+  std::string label;
+  AttributeMask mask;
+};
+
+/// The fifteen combinations the paper enumerates, in the paper's row order.
+/// `use_path` selects File Path (HP) vs File ID (INS/RES) as the fourth
+/// attribute.
+[[nodiscard]] std::vector<AttributeCombination> paper_attribute_combinations(
+    bool use_path);
+
+/// Human-readable name of a single attribute.
+[[nodiscard]] const char* attribute_name(Attribute a) noexcept;
+
+/// Human-readable rendering of a mask, e.g. "{User, Process, File Path}".
+[[nodiscard]] std::string mask_to_string(AttributeMask mask);
+
+}  // namespace farmer

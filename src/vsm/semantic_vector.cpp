@@ -1,0 +1,52 @@
+#include "vsm/semantic_vector.hpp"
+
+#include <algorithm>
+
+namespace farmer {
+
+namespace {
+
+void push_if_valid(SmallVector<TokenId, 12>& items, TokenId t) {
+  if (t.valid()) items.push_back(t);
+}
+
+}  // namespace
+
+Signature build_signature(const SemanticVector& sv, AttributeMask mask,
+                          PathMode mode) {
+  Signature sig;
+  if (mask.has(Attribute::kUser)) push_if_valid(sig.items, sv.user);
+  if (mask.has(Attribute::kProcess)) push_if_valid(sig.items, sv.process);
+  if (mask.has(Attribute::kHost)) push_if_valid(sig.items, sv.host);
+  if (mask.has(Attribute::kFileId)) {
+    push_if_valid(sig.items, sv.dev);
+    push_if_valid(sig.items, sv.fid);
+  }
+  if (mask.has(Attribute::kPath) && sv.has_path()) {
+    if (mode == PathMode::kDivided) {
+      // DPA: every component is an ordinary item.
+      for (TokenId t : sv.path_components) sig.items.push_back(t);
+    } else {
+      sig.ipa_path = true;
+      sig.path_sorted = sv.path_components;
+      std::sort(sig.path_sorted.begin(), sig.path_sorted.end());
+    }
+  }
+  std::sort(sig.items.begin(), sig.items.end());
+  return sig;
+}
+
+void intern_path_components(std::string_view path, Interner& interner,
+                            SmallVector<TokenId, 8>& out) {
+  out.clear();
+  std::size_t i = 0;
+  while (i < path.size()) {
+    while (i < path.size() && path[i] == '/') ++i;
+    std::size_t j = i;
+    while (j < path.size() && path[j] != '/') ++j;
+    if (j > i) out.push_back(interner.intern(path.substr(i, j - i)));
+    i = j;
+  }
+}
+
+}  // namespace farmer

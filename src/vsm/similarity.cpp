@@ -1,0 +1,51 @@
+#include "vsm/similarity.hpp"
+
+#include <algorithm>
+
+namespace farmer {
+
+std::size_t multiset_intersection(const TokenId* a, std::size_t na,
+                                  const TokenId* b, std::size_t nb) noexcept {
+  std::size_t i = 0, j = 0, common = 0;
+  while (i < na && j < nb) {
+    if (a[i] < b[j]) {
+      ++i;
+    } else if (b[j] < a[i]) {
+      ++j;
+    } else {
+      ++common;
+      ++i;
+      ++j;
+    }
+  }
+  return common;
+}
+
+double path_similarity(const SmallVector<TokenId, 8>& a,
+                       const SmallVector<TokenId, 8>& b) noexcept {
+  if (a.empty() || b.empty()) return 0.0;
+  const std::size_t common =
+      multiset_intersection(a.data(), a.size(), b.data(), b.size());
+  const std::size_t denom = std::max(a.size(), b.size());
+  return static_cast<double>(common) / static_cast<double>(denom);
+}
+
+double similarity(const Signature& a, const Signature& b) noexcept {
+  const std::size_t ca = a.item_count();
+  const std::size_t cb = b.item_count();
+  if (ca == 0 || cb == 0) return 0.0;
+  double common = static_cast<double>(multiset_intersection(
+      a.items.data(), a.items.size(), b.items.data(), b.items.size()));
+  if (a.ipa_path && b.ipa_path)
+    common += path_similarity(a.path_sorted, b.path_sorted);
+  const auto denom = static_cast<double>(std::max(ca, cb));
+  return common / denom;
+}
+
+double similarity(const SemanticVector& a, const SemanticVector& b,
+                  AttributeMask mask, PathMode mode) {
+  return similarity(build_signature(a, mask, mode),
+                    build_signature(b, mask, mode));
+}
+
+}  // namespace farmer

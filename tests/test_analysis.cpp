@@ -1,0 +1,126 @@
+// Tests for the Figure-1 analysis and table rendering.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "analysis/interfile_prob.hpp"
+#include "analysis/table.hpp"
+#include "test_helpers.hpp"
+
+namespace farmer {
+namespace {
+
+using testing::MicroTrace;
+
+TEST(InterfileProb, DeterministicStreamScoresOne) {
+  MicroTrace mt;
+  const FileId a = mt.file("a"), b = mt.file("b"), c = mt.file("c");
+  for (int i = 0; i < 10; ++i) {
+    mt.access(a);
+    mt.access(b);
+    mt.access(c);
+  }
+  const Trace t = mt.build();
+  const auto rows = interfile_access_probability(
+      t, {{"none", AttributeMask{}}});
+  ASSERT_EQ(rows.size(), 1u);
+  // Every transition is fully determined: a->b, b->c, c->a.
+  EXPECT_NEAR(rows[0].probability, 1.0, 1e-9);
+  EXPECT_GT(rows[0].transitions, 0u);
+}
+
+TEST(InterfileProb, InterleavingLowersUnfilteredProbability) {
+  MicroTrace mt;
+  const FileId a = mt.file("a"), b = mt.file("b");
+  const FileId x = mt.file("x"), y = mt.file("y");
+  // Two deterministic per-process streams (a->b and x->y), interleaved in
+  // a pattern that varies per iteration so the *global* successor of each
+  // file is unstable while each pid's stream stays deterministic.
+  for (int i = 0; i < 10; ++i) {
+    if (i % 2 == 0) {
+      mt.access(a, "u0", "pid0");
+      mt.access(x, "u1", "pid1");
+      mt.access(b, "u0", "pid0");
+      mt.access(y, "u1", "pid1");
+    } else {
+      mt.access(x, "u1", "pid1");
+      mt.access(a, "u0", "pid0");
+      mt.access(y, "u1", "pid1");
+      mt.access(b, "u0", "pid0");
+    }
+  }
+  const Trace t = mt.build();
+  const auto rows = interfile_access_probability(
+      t, {{"none", AttributeMask{}},
+          {"pid", AttributeMask{Attribute::kProcess}}});
+  ASSERT_EQ(rows.size(), 2u);
+  // Filtered by pid the streams are deterministic; unfiltered they are not.
+  EXPECT_NEAR(rows[1].probability, 1.0, 1e-9);
+  EXPECT_LT(rows[0].probability, 1.0);
+}
+
+TEST(InterfileProb, SelfTransitionsIgnored) {
+  MicroTrace mt;
+  const FileId a = mt.file("a");
+  for (int i = 0; i < 5; ++i) mt.access(a);
+  const Trace t = mt.build();
+  const auto rows =
+      interfile_access_probability(t, {{"none", AttributeMask{}}});
+  EXPECT_EQ(rows[0].transitions, 0u);
+  EXPECT_DOUBLE_EQ(rows[0].probability, 0.0);
+}
+
+TEST(InterfileProb, Figure1CombinationSetShapes) {
+  const auto with_path = figure1_combinations(true);
+  const auto with_fid = figure1_combinations(false);
+  ASSERT_GE(with_path.size(), 5u);
+  EXPECT_EQ(with_path.front().label, "none");
+  EXPECT_TRUE(with_path.front().mask.empty());
+  bool has_path = false, has_fid = false;
+  for (const auto& c : with_path) has_path |= c.mask.has(Attribute::kPath);
+  for (const auto& c : with_fid) has_fid |= c.mask.has(Attribute::kFileId);
+  EXPECT_TRUE(has_path);
+  EXPECT_TRUE(has_fid);
+}
+
+TEST(InterfileProb, EmptyTraceSafe) {
+  MicroTrace mt;
+  const Trace t = mt.build();
+  const auto rows =
+      interfile_access_probability(t, {{"none", AttributeMask{}}});
+  EXPECT_DOUBLE_EQ(rows[0].probability, 0.0);
+}
+
+// ---------------------------------------------------------------- Table --
+
+TEST(Table, RendersAlignedColumns) {
+  Table table({"name", "value"});
+  table.add_row({"alpha", "1"});
+  table.add_row({"b", "22"});
+  std::ostringstream os;
+  table.print(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("name"), std::string::npos);
+  EXPECT_NE(out.find("alpha"), std::string::npos);
+  // Header separator present.
+  EXPECT_NE(out.find("-----"), std::string::npos);
+}
+
+TEST(Table, MissingCellsRenderEmpty) {
+  Table table({"a", "b", "c"});
+  table.add_row({"1"});
+  std::ostringstream os;
+  table.print(os);
+  EXPECT_NE(os.str().find('1'), std::string::npos);
+}
+
+TEST(Table, ExperimentHeaderMentionsIdAndExpectation) {
+  std::ostringstream os;
+  print_experiment_header(os, "Figure 7", "hit ratios", "FPA wins");
+  const std::string out = os.str();
+  EXPECT_NE(out.find("Figure 7"), std::string::npos);
+  EXPECT_NE(out.find("FPA wins"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace farmer

@@ -1,0 +1,441 @@
+// Unit tests for src/common: ids, RNG, Zipf, interner, stats, SmallVector,
+// parallel helpers.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "common/hash.hpp"
+#include "common/interner.hpp"
+#include "common/parallel.hpp"
+#include "common/rng.hpp"
+#include "common/small_vector.hpp"
+#include "common/stats.hpp"
+#include "common/types.hpp"
+#include "common/zipf.hpp"
+
+namespace farmer {
+namespace {
+
+// ------------------------------------------------------------- TaggedId --
+
+TEST(TaggedId, DefaultIsInvalid) {
+  FileId f;
+  EXPECT_FALSE(f.valid());
+  EXPECT_EQ(f, FileId());
+}
+
+TEST(TaggedId, ValueRoundTrip) {
+  FileId f(42);
+  EXPECT_TRUE(f.valid());
+  EXPECT_EQ(f.value(), 42u);
+}
+
+TEST(TaggedId, Ordering) {
+  EXPECT_LT(FileId(1), FileId(2));
+  EXPECT_LE(FileId(2), FileId(2));
+  EXPECT_GT(FileId(3), FileId(2));
+  EXPECT_NE(FileId(1), FileId(2));
+}
+
+TEST(TaggedId, DistinctTagTypesDoNotMix) {
+  // Compile-time property: FileId and UserId are different types.
+  static_assert(!std::is_same_v<FileId, UserId>);
+}
+
+TEST(TaggedId, HashSpreadsDenseIds) {
+  std::set<std::size_t> buckets;
+  std::hash<FileId> h;
+  for (std::uint32_t i = 0; i < 64; ++i)
+    buckets.insert(h(FileId(i)) % 1024);
+  // Dense ids should not collapse into few buckets.
+  EXPECT_GT(buckets.size(), 48u);
+}
+
+TEST(SimTimeConversion, ToMs) {
+  EXPECT_DOUBLE_EQ(to_ms(1500), 1.5);
+  EXPECT_DOUBLE_EQ(to_ms(kSecond), 1000.0);
+}
+
+// ------------------------------------------------------------------ Rng --
+
+TEST(Rng, DeterministicForSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i)
+    if (a.next_u64() == b.next_u64()) ++same;
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, NextBelowInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const auto v = rng.next_below(17);
+    EXPECT_LT(v, 17u);
+  }
+}
+
+TEST(Rng, NextBelowCoversAllValues) {
+  Rng rng(7);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 2000; ++i) seen.insert(rng.next_below(7));
+  EXPECT_EQ(seen.size(), 7u);
+}
+
+TEST(Rng, NextDoubleInUnitInterval) {
+  Rng rng(99);
+  for (int i = 0; i < 1000; ++i) {
+    const double d = rng.next_double();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(Rng, NextInInclusiveBounds) {
+  Rng rng(5);
+  for (int i = 0; i < 500; ++i) {
+    const auto v = rng.next_in(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+  }
+}
+
+TEST(Rng, ExponentialMeanApprox) {
+  Rng rng(11);
+  double sum = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) sum += rng.next_exponential(5.0);
+  EXPECT_NEAR(sum / n, 5.0, 0.2);
+}
+
+TEST(Rng, NormalMoments) {
+  Rng rng(13);
+  RunningStats st;
+  for (int i = 0; i < 20000; ++i) st.add(rng.next_normal(10.0, 2.0));
+  EXPECT_NEAR(st.mean(), 10.0, 0.1);
+  EXPECT_NEAR(st.stddev(), 2.0, 0.1);
+}
+
+TEST(Rng, SplitStreamsIndependent) {
+  Rng parent(42);
+  Rng child = parent.split();
+  // Child continues deterministically and differs from the parent stream.
+  Rng parent2(42);
+  Rng child2 = parent2.split();
+  for (int i = 0; i < 50; ++i) EXPECT_EQ(child.next_u64(), child2.next_u64());
+}
+
+TEST(Rng, BernoulliProbability) {
+  Rng rng(21);
+  int hits = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) hits += rng.next_bool(0.3) ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.02);
+}
+
+// ----------------------------------------------------------------- Zipf --
+
+TEST(ZipfTable, PmfDecreasesWithRank) {
+  ZipfTable z(100, 1.0);
+  for (std::size_t r = 1; r < 100; ++r) EXPECT_LE(z.pmf(r), z.pmf(r - 1));
+}
+
+TEST(ZipfTable, PmfSumsToOne) {
+  ZipfTable z(50, 0.8);
+  double sum = 0;
+  for (std::size_t r = 0; r < 50; ++r) sum += z.pmf(r);
+  EXPECT_NEAR(sum, 1.0, 1e-9);
+}
+
+TEST(ZipfTable, SamplesMatchPmfHead) {
+  ZipfTable z(20, 1.0);
+  Rng rng(3);
+  std::vector<int> counts(20, 0);
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) ++counts[z.sample(rng)];
+  EXPECT_NEAR(static_cast<double>(counts[0]) / n, z.pmf(0), 0.01);
+  EXPECT_NEAR(static_cast<double>(counts[1]) / n, z.pmf(1), 0.01);
+}
+
+TEST(ZipfTable, SingleElement) {
+  ZipfTable z(1, 1.2);
+  Rng rng(9);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(z.sample(rng), 0u);
+}
+
+TEST(ZipfRejection, MatchesTableDistribution) {
+  const double s = 1.1;
+  const std::size_t n = 200;
+  ZipfTable table(n, s);
+  ZipfRejection rej(n, s);
+  Rng rng(17);
+  std::vector<int> counts(n, 0);
+  const int draws = 100000;
+  for (int i = 0; i < draws; ++i) ++counts[rej.sample(rng)];
+  // Head ranks must match the exact pmf closely.
+  for (std::size_t r = 0; r < 5; ++r)
+    EXPECT_NEAR(static_cast<double>(counts[r]) / draws, table.pmf(r), 0.01)
+        << "rank " << r;
+}
+
+TEST(ZipfRejection, HandlesSNearOne) {
+  ZipfRejection rej(50, 1.0);
+  Rng rng(23);
+  for (int i = 0; i < 1000; ++i) EXPECT_LT(rej.sample(rng), 50u);
+}
+
+// ------------------------------------------------------------- Interner --
+
+TEST(Interner, InternReturnsStableIds) {
+  Interner in;
+  const TokenId a = in.intern("hello");
+  const TokenId b = in.intern("world");
+  EXPECT_NE(a, b);
+  EXPECT_EQ(in.intern("hello"), a);
+  EXPECT_EQ(in.size(), 2u);
+}
+
+TEST(Interner, ResolveRoundTrip) {
+  Interner in;
+  const TokenId a = in.intern("user1");
+  EXPECT_EQ(in.resolve(a), "user1");
+}
+
+TEST(Interner, LookupMissingIsInvalid) {
+  Interner in;
+  EXPECT_FALSE(in.lookup("nope").valid());
+  (void)in.intern("yes");
+  EXPECT_TRUE(in.lookup("yes").valid());
+}
+
+TEST(Interner, FootprintGrows) {
+  Interner in;
+  const auto before = in.footprint_bytes();
+  for (int i = 0; i < 100; ++i) (void)in.intern("token" + std::to_string(i));
+  EXPECT_GT(in.footprint_bytes(), before);
+}
+
+TEST(SharedInterner, ConcurrentInternConsistent) {
+  SharedInterner in;
+  constexpr int kThreads = 4;
+  constexpr int kStrings = 200;
+  std::vector<std::vector<TokenId>> ids(kThreads,
+                                        std::vector<TokenId>(kStrings));
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < kStrings; ++i)
+        ids[t][i] = in.intern("shared" + std::to_string(i));
+    });
+  }
+  for (auto& th : threads) th.join();
+  // All threads must agree on every string's id.
+  for (int t = 1; t < kThreads; ++t)
+    for (int i = 0; i < kStrings; ++i) EXPECT_EQ(ids[t][i], ids[0][i]);
+  EXPECT_EQ(in.size(), static_cast<std::size_t>(kStrings));
+  for (int i = 0; i < kStrings; ++i)
+    EXPECT_EQ(in.resolve(ids[0][i]), "shared" + std::to_string(i));
+}
+
+// ---------------------------------------------------------------- Stats --
+
+TEST(RunningStats, MeanVarianceAgainstNaive) {
+  RunningStats st;
+  std::vector<double> xs = {1, 2, 3, 4, 5, 6, 7, 100};
+  double sum = 0;
+  for (double x : xs) {
+    st.add(x);
+    sum += x;
+  }
+  const double mean = sum / static_cast<double>(xs.size());
+  double ss = 0;
+  for (double x : xs) ss += (x - mean) * (x - mean);
+  EXPECT_NEAR(st.mean(), mean, 1e-9);
+  EXPECT_NEAR(st.variance(), ss / (static_cast<double>(xs.size()) - 1), 1e-9);
+  EXPECT_EQ(st.min(), 1);
+  EXPECT_EQ(st.max(), 100);
+}
+
+TEST(RunningStats, MergeEqualsSequential) {
+  RunningStats a, b, all;
+  Rng rng(31);
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.next_normal(5, 3);
+    (i % 2 == 0 ? a : b).add(x);
+    all.add(x);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-9);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-6);
+}
+
+TEST(RunningStats, EmptyIsZero) {
+  RunningStats st;
+  EXPECT_EQ(st.count(), 0u);
+  EXPECT_EQ(st.mean(), 0.0);
+  EXPECT_EQ(st.variance(), 0.0);
+}
+
+TEST(LatencyHistogram, QuantilesBracketValues) {
+  LatencyHistogram h;
+  for (std::uint64_t v = 1; v <= 1000; ++v) h.record(v);
+  EXPECT_EQ(h.count(), 1000u);
+  // <=6.25% relative bucket error allowed.
+  EXPECT_NEAR(static_cast<double>(h.p50()), 500.0, 500.0 * 0.07);
+  EXPECT_NEAR(static_cast<double>(h.p99()), 990.0, 990.0 * 0.07);
+  EXPECT_GE(h.max_value(), 1000u);
+}
+
+TEST(LatencyHistogram, MergeAddsCounts) {
+  LatencyHistogram a, b;
+  a.record(10);
+  b.record(1000000);
+  a.merge(b);
+  EXPECT_EQ(a.count(), 2u);
+  EXPECT_GE(a.max_value(), 1000000u);
+}
+
+TEST(LatencyHistogram, SmallValuesExact) {
+  LatencyHistogram h;
+  for (std::uint64_t v = 0; v < 16; ++v) h.record(v);
+  EXPECT_EQ(h.quantile(0.0), 0u);
+}
+
+TEST(RatioCounter, Basics) {
+  RatioCounter r;
+  r.hit();
+  r.miss();
+  r.miss();
+  EXPECT_EQ(r.numerator(), 1u);
+  EXPECT_EQ(r.denominator(), 3u);
+  EXPECT_NEAR(r.ratio(), 1.0 / 3.0, 1e-12);
+  EXPECT_NEAR(r.percent(), 100.0 / 3.0, 1e-9);
+}
+
+TEST(RatioCounter, EmptySafe) {
+  RatioCounter r;
+  EXPECT_EQ(r.ratio(), 0.0);
+}
+
+TEST(Format, Doubles) { EXPECT_EQ(fmt_double(3.14159, 2), "3.14"); }
+
+TEST(Format, Bytes) {
+  EXPECT_EQ(fmt_bytes(512), "512.0 B");
+  EXPECT_EQ(fmt_bytes(1536), "1.5 KB");
+  EXPECT_EQ(fmt_bytes(103180288), "98.4 MB");
+}
+
+// ---------------------------------------------------------- SmallVector --
+
+TEST(SmallVector, StartsInline) {
+  SmallVector<int, 4> v;
+  EXPECT_TRUE(v.is_inline());
+  EXPECT_EQ(v.heap_bytes(), 0u);
+  v.push_back(1);
+  v.push_back(2);
+  EXPECT_TRUE(v.is_inline());
+  EXPECT_EQ(v.size(), 2u);
+}
+
+TEST(SmallVector, SpillsToHeap) {
+  SmallVector<int, 2> v;
+  for (int i = 0; i < 10; ++i) v.push_back(i);
+  EXPECT_FALSE(v.is_inline());
+  EXPECT_GT(v.heap_bytes(), 0u);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(v[static_cast<std::size_t>(i)], i);
+}
+
+TEST(SmallVector, CopyPreservesContents) {
+  SmallVector<int, 2> v;
+  for (int i = 0; i < 6; ++i) v.push_back(i);
+  SmallVector<int, 2> w(v);
+  EXPECT_EQ(v, w);
+  w.push_back(99);
+  EXPECT_NE(v, w);
+}
+
+TEST(SmallVector, MoveStealsHeap) {
+  SmallVector<int, 2> v;
+  for (int i = 0; i < 6; ++i) v.push_back(i);
+  const int* data = v.data();
+  SmallVector<int, 2> w(std::move(v));
+  EXPECT_EQ(w.data(), data);  // heap buffer moved, not copied
+  EXPECT_EQ(w.size(), 6u);
+  EXPECT_EQ(v.size(), 0u);  // NOLINT(bugprone-use-after-move)
+}
+
+TEST(SmallVector, EraseAtShiftsTail) {
+  SmallVector<int, 8> v{1, 2, 3, 4};
+  v.erase_at(1);
+  EXPECT_EQ(v.size(), 3u);
+  EXPECT_EQ(v[0], 1);
+  EXPECT_EQ(v[1], 3);
+  EXPECT_EQ(v[2], 4);
+}
+
+TEST(SmallVector, ResizeFills) {
+  SmallVector<int, 4> v;
+  v.resize(3, 7);
+  EXPECT_EQ(v.size(), 3u);
+  EXPECT_EQ(v[2], 7);
+  v.resize(1);
+  EXPECT_EQ(v.size(), 1u);
+}
+
+TEST(SmallVector, AssignmentSelfAndCross) {
+  SmallVector<int, 2> v{1, 2, 3};
+  SmallVector<int, 2> w;
+  w = v;
+  EXPECT_EQ(w, v);
+  w = std::move(v);
+  EXPECT_EQ(w.size(), 3u);
+}
+
+// ------------------------------------------------------------- Parallel --
+
+TEST(Parallel, ForCoversAllIndices) {
+  std::vector<std::atomic<int>> hits(257);
+  parallel_for(hits.size(), [&](std::size_t i) { hits[i].fetch_add(1); });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(Parallel, MapProducesOrderedResults) {
+  const auto out =
+      parallel_map<std::size_t>(100, [](std::size_t i) { return i * i; });
+  for (std::size_t i = 0; i < out.size(); ++i) EXPECT_EQ(out[i], i * i);
+}
+
+TEST(Parallel, ZeroIterationsIsNoop) {
+  bool touched = false;
+  parallel_for(0, [&](std::size_t) { touched = true; });
+  EXPECT_FALSE(touched);
+}
+
+// ----------------------------------------------------------------- Hash --
+
+TEST(Hash, PairHashDiffersOnSwappedPair) {
+  PairHash h;
+  const auto a = h(std::make_pair(1u, 2u));
+  const auto b = h(std::make_pair(2u, 1u));
+  EXPECT_NE(a, b);
+}
+
+TEST(Hash, Mix64Bijective) {
+  // mix64 must not collide on a small dense range (it is invertible).
+  std::set<std::uint64_t> seen;
+  for (std::uint64_t i = 0; i < 1000; ++i) seen.insert(mix64(i));
+  EXPECT_EQ(seen.size(), 1000u);
+}
+
+}  // namespace
+}  // namespace farmer

@@ -1,0 +1,309 @@
+// Tests for the FARMER core: the four-stage pipeline, CoMiner semantics,
+// threshold filtering, the Nexus/PBS reduction properties, and sharding.
+#include <gtest/gtest.h>
+
+#include "core/farmer.hpp"
+#include "core/sharded_farmer.hpp"
+#include "test_helpers.hpp"
+
+namespace farmer {
+namespace {
+
+using testing::MicroTrace;
+
+FarmerConfig base_config() {
+  FarmerConfig cfg;
+  cfg.p = 0.7;
+  cfg.max_strength = 0.4;
+  cfg.window = 4;
+  return cfg;
+}
+
+TEST(Farmer, MinesAdjacentPairInSameContext) {
+  MicroTrace mt;
+  const FileId a = mt.file("a", "/home/u0/proj/a");
+  const FileId b = mt.file("b", "/home/u0/proj/b");
+  // Same user/pid/host and same directory: a then b, repeatedly.
+  for (int i = 0; i < 5; ++i) {
+    mt.access(a);
+    mt.access(b);
+  }
+  Farmer model(base_config(), mt.dict());
+  for (const auto& r : mt.records()) model.observe(r);
+
+  const auto& list = model.correlators(a);
+  ASSERT_FALSE(list.empty());
+  EXPECT_EQ(list[0].file, b);
+  EXPECT_GE(list[0].degree, 0.4f);
+}
+
+TEST(Farmer, CorrelationDegreeCombinesBothFactors) {
+  MicroTrace mt;
+  const FileId a = mt.file("a", "/home/u0/proj/a");
+  const FileId b = mt.file("b", "/home/u0/proj/b");
+  mt.access(a);
+  mt.access(b);
+  Farmer model(base_config(), mt.dict());
+  for (const auto& r : mt.records()) model.observe(r);
+
+  // sim: user+pid+host match (3) + dirsim 3/4, over 4 items = 0.9375.
+  // F(a,b) = 1.0 / 1 access = 1.0. R = 0.7*0.9375 + 0.3*1.0 = 0.95625.
+  EXPECT_NEAR(model.correlation_degree(a, b), 0.95625, 1e-9);
+}
+
+TEST(Farmer, UnrelatedContextFilteredByThreshold) {
+  MicroTrace mt;
+  const FileId a = mt.file("a", "/home/u0/proj/a");
+  const FileId x = mt.file("x", "/var/other/x");
+  // Interleaved stream from different user+pid+host: the sequence factor
+  // alone (0.3 * F) cannot reach the 0.4 threshold.
+  for (int i = 0; i < 5; ++i) {
+    mt.access(a, "u0", "pid0", "h0");
+    mt.access(x, "u9", "pid9", "h9");
+  }
+  Farmer model(base_config(), mt.dict());
+  for (const auto& r : mt.records()) model.observe(r);
+
+  for (const auto& c : model.correlators(a)) EXPECT_NE(c.file, x);
+}
+
+TEST(Farmer, ZeroThresholdKeepsWeakPairs) {
+  MicroTrace mt;
+  const FileId a = mt.file("a", "/home/u0/proj/a");
+  const FileId x = mt.file("x", "/var/other/x");
+  for (int i = 0; i < 5; ++i) {
+    mt.access(a, "u0", "pid0", "h0");
+    mt.access(x, "u9", "pid9", "h9");
+  }
+  auto cfg = base_config();
+  cfg.max_strength = 0.0;
+  Farmer model(cfg, mt.dict());
+  for (const auto& r : mt.records()) model.observe(r);
+
+  bool found = false;
+  for (const auto& c : model.correlators(a)) found |= (c.file == x);
+  EXPECT_TRUE(found);
+}
+
+TEST(Farmer, WindowAssignsLdaWeights) {
+  MicroTrace mt;
+  const FileId a = mt.file("a", "/p/a");
+  const FileId b = mt.file("b", "/p/b");
+  const FileId c = mt.file("c", "/p/c");
+  const FileId d = mt.file("d", "/p/d");
+  mt.access(a);
+  mt.access(b);
+  mt.access(c);
+  mt.access(d);
+  Farmer model(base_config(), mt.dict());
+  for (const auto& r : mt.records()) model.observe(r);
+
+  const auto& g = model.graph();
+  EXPECT_NEAR(g.edge_weight(a, b), 1.0, 1e-6);
+  EXPECT_NEAR(g.edge_weight(a, c), 0.9, 1e-6);
+  EXPECT_NEAR(g.edge_weight(a, d), 0.8, 1e-6);
+}
+
+TEST(Farmer, PEqualZeroReducesToSequenceOnly) {
+  // Paper: "If the weight value is 0, FARMER is reduced to Nexus."
+  MicroTrace mt;
+  const FileId a = mt.file("a", "/p/a");
+  const FileId b = mt.file("b", "/q/b");  // different dir: no semantic help
+  mt.access(a, "u0", "pid0");
+  mt.access(b, "u1", "pid1");  // different context too
+  auto cfg = base_config();
+  cfg.p = 0.0;
+  cfg.max_strength = 0.0;
+  Farmer model(cfg, mt.dict());
+  for (const auto& r : mt.records()) model.observe(r);
+  // Degree must equal F(a,b) exactly = 1.0 (one access of a, weight 1).
+  EXPECT_NEAR(model.correlation_degree(a, b), 1.0, 1e-9);
+}
+
+TEST(Farmer, PEqualOneIsPureSemantic) {
+  MicroTrace mt;
+  const FileId a = mt.file("a", "/home/u0/proj/a");
+  const FileId b = mt.file("b", "/home/u0/proj/b");
+  mt.access(a);
+  mt.access(b);
+  auto cfg = base_config();
+  cfg.p = 1.0;
+  Farmer model(cfg, mt.dict());
+  for (const auto& r : mt.records()) model.observe(r);
+  EXPECT_NEAR(model.correlation_degree(a, b), 0.9375, 1e-9);
+}
+
+TEST(Farmer, SemanticVectorTracksLatestContext) {
+  MicroTrace mt;
+  const FileId a = mt.file("a", "/home/u0/proj/a");
+  const FileId b = mt.file("b", "/home/u0/proj/b");
+  // First access by u0/pid0, later the pair runs under u5/pid5: the pair
+  // should still be similar because vectors update to the latest context.
+  mt.access(a, "u0", "pid0");
+  mt.access(b, "u0", "pid0");
+  mt.access(a, "u5", "pid5");
+  mt.access(b, "u5", "pid5");
+  Farmer model(base_config(), mt.dict());
+  for (const auto& r : mt.records()) model.observe(r);
+  EXPECT_GT(model.correlation_degree(a, b), 0.6);
+}
+
+TEST(Farmer, DegreeDecaysAsFrequencyDrops) {
+  MicroTrace mt;
+  const FileId a = mt.file("a", "/p1/a");
+  const FileId b = mt.file("b", "/p2/b");
+  mt.access(a, "u0", "pid0");
+  mt.access(b, "u0", "pid0");  // once: F = 1/1
+  // Then a is accessed many times without b following.
+  for (int i = 0; i < 8; ++i) mt.access(a, "u0", "pid" + std::to_string(i));
+  Farmer model(base_config(), mt.dict());
+  std::vector<double> degrees;
+  for (const auto& r : mt.records()) {
+    model.observe(r);
+    degrees.push_back(model.correlation_degree(a, b));
+  }
+  // F(a,b) = 1/9 at the end; degree must have decreased.
+  EXPECT_LT(degrees.back(), degrees[1]);
+}
+
+TEST(Farmer, StatsCountRequestsAndPairs) {
+  MicroTrace mt;
+  const FileId a = mt.file("a", "/p/a");
+  const FileId b = mt.file("b", "/p/b");
+  mt.access(a);
+  mt.access(b);
+  Farmer model(base_config(), mt.dict());
+  for (const auto& r : mt.records()) model.observe(r);
+  const auto st = model.stats();
+  EXPECT_EQ(st.requests, 2u);
+  EXPECT_EQ(st.mining.pairs_evaluated, 1u);
+}
+
+TEST(Farmer, FootprintGrowsWithFiles) {
+  MicroTrace mt;
+  std::vector<FileId> files;
+  for (int i = 0; i < 50; ++i)
+    files.push_back(mt.file("f" + std::to_string(i), "/p/f"));
+  for (const FileId f : files) mt.access(f);
+  Farmer model(base_config(), mt.dict());
+  const auto before = model.footprint_bytes();
+  for (const auto& r : mt.records()) model.observe(r);
+  EXPECT_GT(model.footprint_bytes(), before);
+}
+
+TEST(Farmer, CorrelatorListStaysSorted) {
+  MicroTrace mt;
+  const FileId a = mt.file("a", "/h/u/p/a");
+  const FileId b = mt.file("b", "/h/u/p/b");
+  const FileId c = mt.file("c", "/h/u/p/c");
+  for (int i = 0; i < 4; ++i) {
+    mt.access(a);
+    mt.access(b);
+    mt.access(c);
+  }
+  Farmer model(base_config(), mt.dict());
+  for (const auto& r : mt.records()) model.observe(r);
+  const auto& list = model.correlators(a);
+  for (std::size_t i = 1; i < list.size(); ++i)
+    EXPECT_GE(list[i - 1].degree, list[i].degree);
+}
+
+TEST(Farmer, FileIdAttributesWorkWithoutPaths) {
+  // INS/RES style: no path info at all; dev+fid carry the locality.
+  MicroTrace mt;
+  const FileId a = mt.file("a");
+  const FileId b = mt.file("b");
+  for (int i = 0; i < 5; ++i) {
+    mt.access(a);
+    mt.access(b);
+  }
+  auto cfg = base_config();
+  cfg.attributes = AttributeMask::all_with_fileid();
+  Farmer model(cfg, mt.dict());
+  for (const auto& r : mt.records()) model.observe(r);
+  const auto& list = model.correlators(a);
+  ASSERT_FALSE(list.empty());
+  EXPECT_EQ(list[0].file, b);
+}
+
+// -------------------------------------------------------------- sharded --
+
+TEST(ShardedFarmer, SingleShardMatchesSerialFarmer) {
+  MicroTrace mt;
+  const FileId a = mt.file("a", "/p/a");
+  const FileId b = mt.file("b", "/p/b");
+  for (int i = 0; i < 6; ++i) {
+    mt.access(a);
+    mt.access(b);
+  }
+  Farmer serial(base_config(), mt.dict());
+  ShardedFarmer sharded(base_config(), mt.dict(), 1);
+  for (const auto& r : mt.records()) {
+    serial.observe(r);
+    sharded.observe(r);
+  }
+  const auto& sl = serial.correlators(a);
+  const auto ml = sharded.correlators(a);
+  ASSERT_EQ(ml.size(), sl.size());
+  for (std::size_t i = 0; i < sl.size(); ++i) {
+    EXPECT_EQ(ml[i].file, sl[i].file);
+    EXPECT_FLOAT_EQ(ml[i].degree, sl[i].degree);
+  }
+}
+
+TEST(ShardedFarmer, BatchIngestEqualsSerialIngest) {
+  MicroTrace mt;
+  const FileId a = mt.file("a", "/p/a");
+  const FileId b = mt.file("b", "/p/b");
+  const FileId c = mt.file("c", "/p/c");
+  for (int i = 0; i < 8; ++i) {
+    mt.access(a, "u0", "pidA");
+    mt.access(b, "u0", "pidA");
+    mt.access(c, "u1", "pidB");
+  }
+  ShardedFarmer one(base_config(), mt.dict(), 4);
+  ShardedFarmer two(base_config(), mt.dict(), 4);
+  for (const auto& r : mt.records()) one.observe(r);
+  two.observe_batch(mt.records());
+  const auto la = one.correlators(a);
+  const auto lb = two.correlators(a);
+  ASSERT_EQ(la.size(), lb.size());
+  for (std::size_t i = 0; i < la.size(); ++i) {
+    EXPECT_EQ(la[i].file, lb[i].file);
+    EXPECT_FLOAT_EQ(la[i].degree, lb[i].degree);
+  }
+}
+
+TEST(ShardedFarmer, MergedListSortedAndDeduplicated) {
+  MicroTrace mt;
+  const FileId a = mt.file("a", "/p/a");
+  const FileId b = mt.file("b", "/p/b");
+  // Two pids -> two shards (likely); both observe a->b.
+  for (int i = 0; i < 4; ++i) {
+    mt.access(a, "u0", "pidA");
+    mt.access(b, "u0", "pidA");
+    mt.access(a, "u0", "pidB");
+    mt.access(b, "u0", "pidB");
+  }
+  ShardedFarmer sharded(base_config(), mt.dict(), 4);
+  for (const auto& r : mt.records()) sharded.observe(r);
+  const auto list = sharded.correlators(a);
+  // No duplicate successors.
+  for (std::size_t i = 0; i < list.size(); ++i)
+    for (std::size_t j = i + 1; j < list.size(); ++j)
+      EXPECT_NE(list[i].file, list[j].file);
+  for (std::size_t i = 1; i < list.size(); ++i)
+    EXPECT_GE(list[i - 1].degree, list[i].degree);
+}
+
+TEST(ShardedFarmer, FootprintSumsShards) {
+  MicroTrace mt;
+  const FileId a = mt.file("a", "/p/a");
+  mt.access(a);
+  ShardedFarmer sharded(base_config(), mt.dict(), 3);
+  EXPECT_EQ(sharded.shard_count(), 3u);
+  EXPECT_GT(sharded.footprint_bytes(), 0u);
+}
+
+}  // namespace
+}  // namespace farmer

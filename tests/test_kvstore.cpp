@@ -1,0 +1,233 @@
+// Tests for the Berkeley-DB stand-ins: B+tree and the persistent log store.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <map>
+#include <string>
+
+#include "common/rng.hpp"
+#include "kvstore/btree.hpp"
+#include "kvstore/log_store.hpp"
+
+namespace farmer {
+namespace {
+
+// ---------------------------------------------------------------- BTree --
+
+TEST(BTree, PutGetSingle) {
+  BTreeStore t;
+  t.put(1, "one");
+  ASSERT_TRUE(t.get(1).has_value());
+  EXPECT_EQ(*t.get(1), "one");
+  EXPECT_FALSE(t.get(2).has_value());
+  EXPECT_EQ(t.size(), 1u);
+}
+
+TEST(BTree, OverwriteKeepsSize) {
+  BTreeStore t;
+  t.put(1, "a");
+  t.put(1, "b");
+  EXPECT_EQ(t.size(), 1u);
+  EXPECT_EQ(*t.get(1), "b");
+}
+
+TEST(BTree, EraseRemoves) {
+  BTreeStore t;
+  t.put(1, "a");
+  EXPECT_TRUE(t.erase(1));
+  EXPECT_FALSE(t.erase(1));
+  EXPECT_FALSE(t.get(1).has_value());
+  EXPECT_EQ(t.size(), 0u);
+}
+
+TEST(BTree, HeightGrowsWithInserts) {
+  BTreeStore t;
+  EXPECT_EQ(t.height(), 1u);
+  for (std::uint64_t k = 0; k < 10000; ++k) t.put(k, "v");
+  EXPECT_GT(t.height(), 1u);
+  EXPECT_TRUE(t.check_invariants());
+}
+
+TEST(BTree, OrderedScanFullRange) {
+  BTreeStore t;
+  // Insert in reverse to exercise rebalancing order.
+  for (std::uint64_t k = 500; k-- > 0;) t.put(k, std::to_string(k));
+  std::uint64_t expect = 0;
+  t.scan(0, UINT64_MAX, [&](std::uint64_t k, std::string_view v) {
+    EXPECT_EQ(k, expect);
+    EXPECT_EQ(v, std::to_string(k));
+    ++expect;
+    return true;
+  });
+  EXPECT_EQ(expect, 500u);
+}
+
+TEST(BTree, ScanSubrangeInclusive) {
+  BTreeStore t;
+  for (std::uint64_t k = 0; k < 100; ++k) t.put(k * 2, "v");
+  std::vector<std::uint64_t> seen;
+  t.scan(10, 20, [&](std::uint64_t k, std::string_view) {
+    seen.push_back(k);
+    return true;
+  });
+  EXPECT_EQ(seen, (std::vector<std::uint64_t>{10, 12, 14, 16, 18, 20}));
+}
+
+TEST(BTree, ScanEarlyStop) {
+  BTreeStore t;
+  for (std::uint64_t k = 0; k < 100; ++k) t.put(k, "v");
+  int count = 0;
+  t.scan(0, UINT64_MAX, [&](std::uint64_t, std::string_view) {
+    return ++count < 5;
+  });
+  EXPECT_EQ(count, 5);
+}
+
+TEST(BTree, InvariantsHoldUnderRandomOps) {
+  BTreeStore t;
+  std::map<std::uint64_t, std::string> ref;
+  Rng rng(13);
+  for (int op = 0; op < 20000; ++op) {
+    const std::uint64_t k = rng.next_below(4000);
+    if (rng.next_bool(0.7)) {
+      const std::string v = "v" + std::to_string(op);
+      t.put(k, v);
+      ref[k] = v;
+    } else {
+      EXPECT_EQ(t.erase(k), ref.erase(k) > 0) << "op " << op;
+    }
+  }
+  ASSERT_TRUE(t.check_invariants());
+  ASSERT_EQ(t.size(), ref.size());
+  for (const auto& [k, v] : ref) {
+    auto got = t.get(k);
+    ASSERT_TRUE(got.has_value()) << k;
+    EXPECT_EQ(*got, v);
+  }
+  // Full scan equals the reference order.
+  auto it = ref.begin();
+  t.scan(0, UINT64_MAX, [&](std::uint64_t k, std::string_view v) {
+    EXPECT_EQ(k, it->first);
+    EXPECT_EQ(v, it->second);
+    ++it;
+    return true;
+  });
+  EXPECT_EQ(it, ref.end());
+}
+
+TEST(BTree, FootprintGrows) {
+  BTreeStore t;
+  const auto before = t.footprint_bytes();
+  for (std::uint64_t k = 0; k < 1000; ++k) t.put(k, "some value payload");
+  EXPECT_GT(t.footprint_bytes(), before);
+}
+
+TEST(BTree, ExtremeKeysWork) {
+  BTreeStore t;
+  t.put(0, "zero");
+  t.put(UINT64_MAX, "max");
+  EXPECT_EQ(*t.get(0), "zero");
+  EXPECT_EQ(*t.get(UINT64_MAX), "max");
+  EXPECT_TRUE(t.check_invariants());
+}
+
+// ------------------------------------------------------------- LogStore --
+
+class LogStoreTest : public ::testing::Test {
+ protected:
+  void TearDown() override { std::remove(path_.c_str()); }
+  std::string path_ = ::testing::TempDir() + "farmer_log_test.db";
+};
+
+TEST_F(LogStoreTest, PutGetErase) {
+  LogStore s(path_);
+  s.put(1, "alpha");
+  s.put(2, "beta");
+  EXPECT_EQ(*s.get(1), "alpha");
+  EXPECT_TRUE(s.erase(1));
+  EXPECT_FALSE(s.get(1).has_value());
+  EXPECT_EQ(s.size(), 1u);
+}
+
+TEST_F(LogStoreTest, PersistsAcrossReopen) {
+  {
+    LogStore s(path_);
+    s.put(10, "ten");
+    s.put(20, "twenty");
+    s.erase(10);
+    s.sync();
+  }
+  LogStore reopened(path_);
+  EXPECT_EQ(reopened.recovered_records(), 3u);
+  EXPECT_FALSE(reopened.get(10).has_value());
+  ASSERT_TRUE(reopened.get(20).has_value());
+  EXPECT_EQ(*reopened.get(20), "twenty");
+}
+
+TEST_F(LogStoreTest, RecoversFromTornTail) {
+  {
+    LogStore s(path_);
+    s.put(1, "good");
+    s.put(2, "also good");
+    s.sync();
+  }
+  // Append garbage simulating a torn write.
+  {
+    std::FILE* f = std::fopen(path_.c_str(), "ab");
+    ASSERT_NE(f, nullptr);
+    const char junk[] = {0x13, 0x37, 0x00, 0x42};
+    std::fwrite(junk, 1, sizeof junk, f);
+    std::fclose(f);
+  }
+  LogStore recovered(path_);
+  EXPECT_EQ(recovered.recovered_records(), 2u);
+  EXPECT_EQ(*recovered.get(1), "good");
+  EXPECT_EQ(*recovered.get(2), "also good");
+  // The store keeps working after truncating the torn tail.
+  recovered.put(3, "new");
+  recovered.sync();
+  LogStore again(path_);
+  EXPECT_EQ(again.size(), 3u);
+}
+
+TEST_F(LogStoreTest, CompactionPreservesContents) {
+  LogStore s(path_);
+  for (int i = 0; i < 50; ++i) s.put(7, "version " + std::to_string(i));
+  s.put(8, "keep");
+  const std::size_t reclaimed = s.compact();
+  EXPECT_GT(reclaimed, 0u);
+  EXPECT_EQ(*s.get(7), "version 49");
+  EXPECT_EQ(*s.get(8), "keep");
+  s.put(9, "after-compact");
+  s.sync();
+  LogStore reopened(path_);
+  EXPECT_EQ(reopened.size(), 3u);
+  EXPECT_EQ(*reopened.get(9), "after-compact");
+}
+
+TEST_F(LogStoreTest, ScanIsOrdered) {
+  LogStore s(path_);
+  s.put(5, "e");
+  s.put(1, "a");
+  s.put(3, "c");
+  std::vector<std::uint64_t> keys;
+  s.scan(0, UINT64_MAX, [&](std::uint64_t k, std::string_view) {
+    keys.push_back(k);
+    return true;
+  });
+  EXPECT_EQ(keys, (std::vector<std::uint64_t>{1, 3, 5}));
+}
+
+TEST_F(LogStoreTest, EmptyValueRoundTrip) {
+  {
+    LogStore s(path_);
+    s.put(1, "");
+    s.sync();
+  }
+  LogStore reopened(path_);
+  ASSERT_TRUE(reopened.get(1).has_value());
+  EXPECT_EQ(*reopened.get(1), "");
+}
+
+}  // namespace
+}  // namespace farmer

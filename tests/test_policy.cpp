@@ -1,0 +1,154 @@
+// Tests for Section 4.3: rule propagation and replica grouping over mined
+// correlations.
+#include <gtest/gtest.h>
+
+#include "core/policy_propagation.hpp"
+#include "test_helpers.hpp"
+
+namespace farmer {
+namespace {
+
+using testing::MicroTrace;
+
+/// Two strongly-correlated chains a1->a2->a3 and b1->b2, plus a loner.
+struct PolicyFixture {
+  MicroTrace mt;
+  FileId a1, a2, a3, b1, b2, lone;
+  std::unique_ptr<Farmer> model;
+
+  PolicyFixture() {
+    a1 = mt.file("a1", "/h/u/ga/a1");
+    a2 = mt.file("a2", "/h/u/ga/a2");
+    a3 = mt.file("a3", "/h/u/ga/a3");
+    b1 = mt.file("b1", "/h/u/gb/b1");
+    b2 = mt.file("b2", "/h/u/gb/b2");
+    lone = mt.file("lone", "/tmp/x");
+    for (int i = 0; i < 6; ++i) {
+      mt.access(a1, "u0", "pa", "ha");
+      mt.access(a2, "u0", "pa", "ha");
+      mt.access(a3, "u0", "pa", "ha");
+      mt.access(b1, "u1", "pb", "hb");
+      mt.access(b2, "u1", "pb", "hb");
+    }
+    mt.access(lone, "u2", "pc", "hc");
+    model = std::make_unique<Farmer>(FarmerConfig{}, mt.dict());
+    for (const auto& r : mt.records()) model->observe(r);
+  }
+};
+
+TEST(RulePropagation, SpreadsAlongStrongCorrelations) {
+  PolicyFixture fx;
+  const auto result = propagate_rule(*fx.model, fx.a1, PropagationConfig{});
+  EXPECT_TRUE(result.covers(fx.a1));
+  EXPECT_TRUE(result.covers(fx.a2));
+  EXPECT_TRUE(result.covers(fx.a3));
+  EXPECT_FALSE(result.covers(fx.b1));
+  EXPECT_FALSE(result.covers(fx.lone));
+}
+
+TEST(RulePropagation, SeedAlwaysIncludedEvenWithoutCorrelations) {
+  PolicyFixture fx;
+  const auto result = propagate_rule(*fx.model, fx.lone, PropagationConfig{});
+  ASSERT_EQ(result.files.size(), 1u);
+  EXPECT_EQ(result.files[0], fx.lone);
+  EXPECT_EQ(result.hop[0], 0);
+}
+
+TEST(RulePropagation, HopLimitBoundsSpread) {
+  PolicyFixture fx;
+  PropagationConfig cfg;
+  cfg.max_hops = 0;  // seed only
+  const auto result = propagate_rule(*fx.model, fx.a1, cfg);
+  EXPECT_EQ(result.files.size(), 1u);
+}
+
+TEST(RulePropagation, FileCapBoundsSpread) {
+  PolicyFixture fx;
+  PropagationConfig cfg;
+  cfg.max_files = 2;
+  const auto result = propagate_rule(*fx.model, fx.a1, cfg);
+  EXPECT_LE(result.files.size(), 2u);
+}
+
+TEST(RulePropagation, HopsAreBfsDistances) {
+  PolicyFixture fx;
+  const auto result = propagate_rule(*fx.model, fx.a1, PropagationConfig{});
+  ASSERT_EQ(result.files.size(), result.hop.size());
+  EXPECT_EQ(result.hop[0], 0);  // seed
+  for (std::size_t i = 1; i < result.hop.size(); ++i)
+    EXPECT_GE(result.hop[i], result.hop[i - 1]);  // BFS order
+}
+
+TEST(RuleRegistry, RulesForReturnsPropagatedRules) {
+  PolicyFixture fx;
+  RuleRegistry registry(*fx.model);
+  registry.attach(fx.a1, {"secure-delete", true}, PropagationConfig{});
+  registry.attach(fx.b1, {"audit", false}, PropagationConfig{});
+  EXPECT_EQ(registry.rule_count(), 2u);
+
+  const auto on_a3 = registry.rules_for(fx.a3);
+  ASSERT_EQ(on_a3.size(), 1u);
+  EXPECT_EQ(on_a3[0].name, "secure-delete");
+  EXPECT_TRUE(on_a3[0].deny);
+
+  const auto on_b2 = registry.rules_for(fx.b2);
+  ASSERT_EQ(on_b2.size(), 1u);
+  EXPECT_EQ(on_b2[0].name, "audit");
+
+  EXPECT_TRUE(registry.rules_for(fx.lone).empty());
+}
+
+TEST(ReplicaGroups, GroupsStrongComponents) {
+  PolicyFixture fx;
+  const auto groups = build_replica_groups(
+      *fx.model, fx.mt.dict()->files.size(), ReplicaGroupingConfig{});
+  ASSERT_GE(groups.size(), 2u);
+  // Find the group containing a1: must contain exactly the a-chain.
+  bool found_a = false;
+  for (const auto& g : groups) {
+    const bool has_a1 =
+        std::find(g.members.begin(), g.members.end(), fx.a1) !=
+        g.members.end();
+    if (!has_a1) continue;
+    found_a = true;
+    EXPECT_NE(std::find(g.members.begin(), g.members.end(), fx.a2),
+              g.members.end());
+    EXPECT_EQ(std::find(g.members.begin(), g.members.end(), fx.b1),
+              g.members.end());
+    EXPECT_GE(g.min_internal_degree, 0.6);
+  }
+  EXPECT_TRUE(found_a);
+}
+
+TEST(ReplicaGroups, SingletonsNotReported) {
+  PolicyFixture fx;
+  const auto groups = build_replica_groups(
+      *fx.model, fx.mt.dict()->files.size(), ReplicaGroupingConfig{});
+  for (const auto& g : groups) {
+    EXPECT_GE(g.members.size(), 2u);
+    const bool has_lone =
+        std::find(g.members.begin(), g.members.end(), fx.lone) !=
+        g.members.end();
+    EXPECT_FALSE(has_lone);
+  }
+}
+
+TEST(ReplicaGroups, SizeCapRespected) {
+  MicroTrace mt;
+  std::vector<FileId> files;
+  for (int i = 0; i < 10; ++i)
+    files.push_back(
+        mt.file("f" + std::to_string(i), "/g/f" + std::to_string(i)));
+  for (int rep = 0; rep < 6; ++rep)
+    for (const FileId f : files) mt.access(f);
+  Farmer model(FarmerConfig{}, mt.dict());
+  for (const auto& r : mt.records()) model.observe(r);
+  ReplicaGroupingConfig cfg;
+  cfg.max_group_files = 3;
+  const auto groups =
+      build_replica_groups(model, mt.dict()->files.size(), cfg);
+  for (const auto& g : groups) EXPECT_LE(g.members.size(), 3u);
+}
+
+}  // namespace
+}  // namespace farmer

@@ -1,0 +1,250 @@
+// Property-based suites: invariants that must hold across the whole
+// configuration space, swept with parameterized gtest.
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "analysis/experiment.hpp"
+#include "common/rng.hpp"
+#include "prefetch/fpa.hpp"
+#include "prefetch/nexus.hpp"
+#include "prefetch/replay.hpp"
+#include "trace/generator.hpp"
+#include "vsm/similarity.hpp"
+
+namespace farmer {
+namespace {
+
+const Trace& small_hp() {
+  static const Trace t = make_paper_trace(TraceKind::kHP, 99, 0.05);
+  return t;
+}
+
+// ------------------------------------------- FARMER config-space sweep ---
+
+class FarmerConfigSweep
+    : public ::testing::TestWithParam<std::tuple<double, double>> {};
+
+TEST_P(FarmerConfigSweep, CorrelatorInvariantsHold) {
+  const auto [p, max_strength] = GetParam();
+  FarmerConfig cfg;
+  cfg.p = p;
+  cfg.max_strength = max_strength;
+  const Trace& t = small_hp();
+  Farmer model(cfg, t.dict);
+  for (const auto& rec : t.records) model.observe(rec);
+
+  for (std::uint32_t f = 0; f < t.file_count(); ++f) {
+    const auto& list = model.correlators(FileId(f));
+    ASSERT_LE(list.size(), cfg.correlator_capacity);
+    for (std::size_t i = 0; i < list.size(); ++i) {
+      // Every entry passed the validity threshold at its last evaluation.
+      EXPECT_GE(list[i].degree, static_cast<float>(max_strength) - 1e-4f)
+          << "file " << f;
+      EXPECT_NE(list[i].file, FileId(f));  // no self-correlation
+      if (i > 0)  // sorted descending
+        EXPECT_GE(list[i - 1].degree, list[i].degree);
+    }
+  }
+  EXPECT_GT(model.footprint_bytes(), 0u);
+}
+
+TEST_P(FarmerConfigSweep, DegreesBounded) {
+  const auto [p, max_strength] = GetParam();
+  FarmerConfig cfg;
+  cfg.p = p;
+  cfg.max_strength = max_strength;
+  const Trace& t = small_hp();
+  Farmer model(cfg, t.dict);
+  for (const auto& rec : t.records) model.observe(rec);
+  // R = p*sim + (1-p)*F with sim <= 1 and F <= ~window; check a generous
+  // upper bound and non-negativity over sampled pairs.
+  Rng rng(4);
+  for (int i = 0; i < 500; ++i) {
+    const FileId a(
+        static_cast<std::uint32_t>(rng.next_below(t.file_count())));
+    const FileId b(
+        static_cast<std::uint32_t>(rng.next_below(t.file_count())));
+    const double r = model.correlation_degree(a, b);
+    EXPECT_GE(r, 0.0);
+    EXPECT_LE(r, p + (1.0 - p) * 2.0 + 1e-9);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, FarmerConfigSweep,
+    ::testing::Combine(::testing::Values(0.0, 0.3, 0.7, 1.0),
+                       ::testing::Values(0.0, 0.2, 0.4, 0.6, 0.8)),
+    [](const auto& info) {
+      return "p" +
+             std::to_string(static_cast<int>(std::get<0>(info.param) * 10)) +
+             "_s" +
+             std::to_string(static_cast<int>(std::get<1>(info.param) * 10));
+    });
+
+// ----------------------------------------------- replay invariant sweep --
+
+class ReplaySweep
+    : public ::testing::TestWithParam<std::tuple<CachePolicy, std::size_t>> {
+};
+
+TEST_P(ReplaySweep, AccountingIdentitiesHold) {
+  const auto [policy, degree] = GetParam();
+  const Trace& t = small_hp();
+  ReplayConfig rc;
+  rc.cache_capacity = 64;
+  rc.policy = policy;
+  rc.prefetch_degree = degree;
+  FpaPredictor fpa(FarmerConfig{}, t.dict);
+  const auto r = replay_trace(t, fpa, rc);
+
+  // Demand accounting: every record is exactly one demand access.
+  EXPECT_EQ(r.cache.demand.denominator(), t.records.size());
+  EXPECT_LE(r.cache.demand.numerator(), r.cache.demand.denominator());
+  // Prefetch accounting: used + evicted-unused <= inserted (some may still
+  // be resident and unused at the end).
+  EXPECT_LE(r.cache.prefetch_used + r.cache.prefetch_evicted_unused,
+            r.cache.prefetch_inserted);
+  EXPECT_GE(r.hit_ratio(), 0.0);
+  EXPECT_LE(r.hit_ratio(), 1.0);
+  EXPECT_GE(r.prefetch_accuracy(), 0.0);
+  EXPECT_LE(r.prefetch_accuracy(), 1.0);
+  if (degree == 0) EXPECT_EQ(r.cache.prefetch_inserted, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, ReplaySweep,
+    ::testing::Combine(::testing::Values(CachePolicy::kLRU, CachePolicy::kLFU,
+                                         CachePolicy::kCLOCK,
+                                         CachePolicy::kARC),
+                       ::testing::Values(0u, 1u, 4u, 8u)),
+    [](const auto& info) {
+      return std::string(cache_policy_name(std::get<0>(info.param))) + "_d" +
+             std::to_string(std::get<1>(info.param));
+    });
+
+// --------------------------------------------------- similarity algebra --
+
+class SimilarityProperty : public ::testing::TestWithParam<PathMode> {};
+
+TEST_P(SimilarityProperty, SymmetricBoundedReflexive) {
+  const PathMode mode = GetParam();
+  Interner in;
+  Rng rng(11);
+  const AttributeMask mask = AttributeMask::all_with_path();
+  auto random_sv = [&] {
+    SemanticVector sv;
+    sv.user = in.intern("u" + std::to_string(rng.next_below(5)));
+    sv.process = in.intern("p" + std::to_string(rng.next_below(50)));
+    sv.host = in.intern("h" + std::to_string(rng.next_below(4)));
+    std::string path;
+    const auto depth = 1 + rng.next_below(5);
+    for (std::uint64_t d = 0; d < depth; ++d)
+      path += "/d" + std::to_string(rng.next_below(6));
+    intern_path_components(path, in, sv.path_components);
+    return sv;
+  };
+  for (int i = 0; i < 200; ++i) {
+    const SemanticVector a = random_sv();
+    const SemanticVector b = random_sv();
+    const double ab = similarity(a, b, mask, mode);
+    const double ba = similarity(b, a, mask, mode);
+    EXPECT_DOUBLE_EQ(ab, ba);
+    EXPECT_GE(ab, 0.0);
+    EXPECT_LE(ab, 1.0);
+    EXPECT_DOUBLE_EQ(similarity(a, a, mask, mode), 1.0);
+  }
+}
+
+TEST_P(SimilarityProperty, MonotoneInSharedAttributes) {
+  // Adding one more matching attribute never decreases similarity when the
+  // vector sizes stay equal.
+  const PathMode mode = GetParam();
+  Interner in;
+  SemanticVector a, b;
+  a.user = in.intern("u");
+  b.user = in.intern("u");
+  a.process = in.intern("p1");
+  b.process = in.intern("p2");
+  a.host = in.intern("h1");
+  b.host = in.intern("h2");
+  const double base = similarity(a, b, AttributeMask::all_with_path(), mode);
+  b.process = a.process;  // now two of three match
+  const double more = similarity(a, b, AttributeMask::all_with_path(), mode);
+  EXPECT_GT(more, base);
+}
+
+INSTANTIATE_TEST_SUITE_P(Modes, SimilarityProperty,
+                         ::testing::Values(PathMode::kDivided,
+                                           PathMode::kIntegrated),
+                         [](const auto& info) {
+                           return info.param == PathMode::kDivided ? "DPA"
+                                                                   : "IPA";
+                         });
+
+// ------------------------------------------------------ generator sweep --
+
+class GeneratorSweep : public ::testing::TestWithParam<TraceKind> {};
+
+TEST_P(GeneratorSweep, StructuralInvariants) {
+  const Trace t = make_paper_trace(GetParam(), 5, 0.04);
+  ASSERT_GT(t.event_count(), 0u);
+  ASSERT_GT(t.file_count(), 0u);
+  SimTime prev = 0;
+  for (const auto& r : t.records) {
+    EXPECT_GE(r.timestamp, prev);
+    prev = r.timestamp;
+    ASSERT_LT(r.file.value(), t.file_count());
+    EXPECT_TRUE(r.user_token.valid());
+    EXPECT_TRUE(r.fid_token.valid());
+    EXPECT_EQ(r.path.valid(), t.has_paths);
+  }
+}
+
+TEST_P(GeneratorSweep, SeedStability) {
+  const Trace a = make_paper_trace(GetParam(), 77, 0.03);
+  const Trace b = make_paper_trace(GetParam(), 77, 0.03);
+  ASSERT_EQ(a.event_count(), b.event_count());
+  for (std::size_t i = 0; i < a.records.size(); i += 97)
+    EXPECT_EQ(a.records[i].file, b.records[i].file) << i;
+}
+
+TEST_P(GeneratorSweep, MinableStructureExists) {
+  // Every profile must contain recurrence FARMER can exploit: mining the
+  // trace yields a non-trivial number of valid correlations.
+  const Trace t = make_paper_trace(GetParam(), 5, 0.06);
+  Farmer model(FarmerConfig{}, t.dict);
+  for (const auto& rec : t.records) model.observe(rec);
+  std::size_t entries = 0;
+  for (std::uint32_t f = 0; f < t.file_count(); ++f)
+    entries += model.correlators(FileId(f)).size();
+  EXPECT_GT(entries, t.file_count() / 20);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllTraces, GeneratorSweep,
+                         ::testing::Values(TraceKind::kLLNL, TraceKind::kINS,
+                                           TraceKind::kRES, TraceKind::kHP),
+                         [](const auto& info) {
+                           return std::string(trace_kind_name(info.param));
+                         });
+
+// ------------------------------------------------------- LDA properties --
+
+TEST(LdaProperty, WeightsDecreaseWithDistance) {
+  for (double delta : {0.05, 0.1, 0.2}) {
+    for (std::size_t d = 1; d < 12; ++d) {
+      EXPECT_GE(AccessWindow::lda_weight(d, delta),
+                AccessWindow::lda_weight(d + 1, delta));
+      EXPECT_GE(AccessWindow::lda_weight(d, delta), 0.0);
+      EXPECT_LE(AccessWindow::lda_weight(d, delta), 1.0);
+    }
+  }
+}
+
+TEST(LdaProperty, ZeroDeltaIsUniform) {
+  for (std::size_t d = 1; d < 16; ++d)
+    EXPECT_DOUBLE_EQ(AccessWindow::lda_weight(d, 0.0), 1.0);
+}
+
+}  // namespace
+}  // namespace farmer

@@ -1,0 +1,171 @@
+// Tests for the DES engine and the two-priority service station.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/service_station.hpp"
+#include "sim/simulator.hpp"
+
+namespace farmer {
+namespace {
+
+TEST(Simulator, ExecutesInTimeOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.schedule_at(30, [&] { order.push_back(3); });
+  sim.schedule_at(10, [&] { order.push_back(1); });
+  sim.schedule_at(20, [&] { order.push_back(2); });
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(sim.now(), 30);
+}
+
+TEST(Simulator, TiesBreakByScheduleOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.schedule_at(5, [&] { order.push_back(1); });
+  sim.schedule_at(5, [&] { order.push_back(2); });
+  sim.schedule_at(5, [&] { order.push_back(3); });
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(Simulator, NestedScheduling) {
+  Simulator sim;
+  std::vector<SimTime> fired;
+  sim.schedule_at(10, [&] {
+    fired.push_back(sim.now());
+    sim.schedule_after(5, [&] { fired.push_back(sim.now()); });
+  });
+  sim.run();
+  EXPECT_EQ(fired, (std::vector<SimTime>{10, 15}));
+}
+
+TEST(Simulator, PastSchedulingClampsToNow) {
+  Simulator sim;
+  SimTime fired = -1;
+  sim.schedule_at(10, [&] {
+    sim.schedule_at(3, [&] { fired = sim.now(); });  // in the past
+  });
+  sim.run();
+  EXPECT_EQ(fired, 10);
+}
+
+TEST(Simulator, RunUntilStopsAtDeadline) {
+  Simulator sim;
+  int count = 0;
+  for (SimTime t = 10; t <= 100; t += 10)
+    sim.schedule_at(t, [&] { ++count; });
+  sim.run_until(50);
+  EXPECT_EQ(count, 5);
+  EXPECT_EQ(sim.pending(), 5u);
+  sim.run();
+  EXPECT_EQ(count, 10);
+}
+
+TEST(Simulator, CountsExecutedEvents) {
+  Simulator sim;
+  for (int i = 0; i < 7; ++i) sim.schedule_at(i, [] {});
+  EXPECT_EQ(sim.run(), 7u);
+  EXPECT_EQ(sim.executed(), 7u);
+}
+
+// --------------------------------------------------------- ServiceStation --
+
+TEST(ServiceStation, ServesFifoWithinPriority) {
+  Simulator sim;
+  ServiceStation st(sim, 1);
+  std::vector<int> order;
+  sim.schedule_at(0, [&] {
+    st.submit(ServiceStation::kDemand, 10, [&] { order.push_back(1); });
+    st.submit(ServiceStation::kDemand, 10, [&] { order.push_back(2); });
+  });
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+  EXPECT_EQ(sim.now(), 20);
+}
+
+TEST(ServiceStation, DemandPreemptsQueuedPrefetch) {
+  Simulator sim;
+  ServiceStation st(sim, 1);
+  std::vector<std::string> order;
+  sim.schedule_at(0, [&] {
+    // One prefetch starts immediately (server free), two more queue.
+    st.submit(ServiceStation::kPrefetch, 10,
+              [&] { order.push_back("p1"); });
+    st.submit(ServiceStation::kPrefetch, 10,
+              [&] { order.push_back("p2"); });
+  });
+  sim.schedule_at(5, [&] {
+    st.submit(ServiceStation::kDemand, 10, [&] { order.push_back("d"); });
+  });
+  sim.run();
+  // p1 occupies the server (non-preemptive); the demand then jumps the
+  // queued prefetch p2.
+  EXPECT_EQ(order, (std::vector<std::string>{"p1", "d", "p2"}));
+}
+
+TEST(ServiceStation, MultipleServersRunConcurrently) {
+  Simulator sim;
+  ServiceStation st(sim, 2);
+  std::vector<SimTime> done;
+  sim.schedule_at(0, [&] {
+    st.submit(ServiceStation::kDemand, 10, [&] { done.push_back(sim.now()); });
+    st.submit(ServiceStation::kDemand, 10, [&] { done.push_back(sim.now()); });
+  });
+  sim.run();
+  ASSERT_EQ(done.size(), 2u);
+  EXPECT_EQ(done[0], 10);
+  EXPECT_EQ(done[1], 10);  // in parallel, not 20
+}
+
+TEST(ServiceStation, WaitStatsRecorded) {
+  Simulator sim;
+  ServiceStation st(sim, 1);
+  sim.schedule_at(0, [&] {
+    st.submit(ServiceStation::kDemand, 10, nullptr);
+    st.submit(ServiceStation::kDemand, 10, nullptr);  // waits 10
+  });
+  sim.run();
+  EXPECT_EQ(st.wait_stats(ServiceStation::kDemand).count(), 2u);
+  EXPECT_DOUBLE_EQ(st.wait_stats(ServiceStation::kDemand).max(), 10.0);
+  EXPECT_EQ(st.completed(), 2u);
+}
+
+TEST(ServiceStation, QueueDepthsVisible) {
+  Simulator sim;
+  ServiceStation st(sim, 1);
+  sim.schedule_at(0, [&] {
+    st.submit(ServiceStation::kDemand, 100, nullptr);
+    st.submit(ServiceStation::kPrefetch, 10, nullptr);
+    st.submit(ServiceStation::kPrefetch, 10, nullptr);
+    EXPECT_EQ(st.queued(ServiceStation::kPrefetch), 2u);
+    EXPECT_EQ(st.busy_servers(), 1u);
+  });
+  sim.run();
+  EXPECT_EQ(st.queued(ServiceStation::kPrefetch), 0u);
+}
+
+TEST(ServiceStation, StarvationOfPrefetchUnderDemandLoad) {
+  // Continuous demand keeps the single server busy; the prefetch only runs
+  // once demand drains.
+  Simulator sim;
+  ServiceStation st(sim, 1);
+  SimTime prefetch_done = -1;
+  sim.schedule_at(0, [&] {
+    st.submit(ServiceStation::kPrefetch, 5,
+              [&] { prefetch_done = sim.now(); });
+  });
+  // The first demand arrives at t=0 too and the server picks... demand
+  // queue is checked first at dispatch, but the prefetch was submitted
+  // first and dispatched immediately. Subsequent demands queue behind it.
+  for (SimTime t = 0; t < 50; t += 5)
+    sim.schedule_at(t, [&] {
+      st.submit(ServiceStation::kDemand, 5, nullptr);
+    });
+  sim.run();
+  EXPECT_GE(prefetch_done, 5);
+}
+
+}  // namespace
+}  // namespace farmer

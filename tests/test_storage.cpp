@@ -1,0 +1,215 @@
+// Tests for the MDS, OSD, and the DES cluster replay.
+#include <gtest/gtest.h>
+
+#include "prefetch/fpa.hpp"
+#include "prefetch/nexus.hpp"
+#include "storage/cluster.hpp"
+#include "storage/osd.hpp"
+#include "test_helpers.hpp"
+#include "trace/generator.hpp"
+
+namespace farmer {
+namespace {
+
+using testing::MicroTrace;
+
+MdsConfig fast_mds() {
+  MdsConfig cfg;
+  cfg.cache_capacity = 8;
+  cfg.cpu_time = 10;
+  cfg.db_fetch_time = 1000;
+  cfg.db_fetch_jitter = 0;
+  cfg.seq_fetch_time = 100;
+  return cfg;
+}
+
+// ------------------------------------------------------------------ MDS --
+
+TEST(Mds, HitIsFasterThanMiss) {
+  MicroTrace mt;
+  const FileId a = mt.file("a", "/p/a");
+  mt.access(a);
+  mt.access(a);
+  Simulator sim;
+  NoopPredictor noop;
+  MdsServer mds(sim, fast_mds(), noop);
+  mds.populate(4);
+  std::vector<SimTime> rts;
+  const auto& recs = mt.records();
+  sim.schedule_at(0, [&] {
+    mds.handle_demand(recs[0], [&](SimTime rt) { rts.push_back(rt); });
+  });
+  sim.schedule_at(5000, [&] {
+    mds.handle_demand(recs[1], [&](SimTime rt) { rts.push_back(rt); });
+  });
+  sim.run();
+  ASSERT_EQ(rts.size(), 2u);
+  EXPECT_EQ(rts[0], 1000 + 10);  // miss: disk + cpu
+  EXPECT_EQ(rts[1], 10);         // hit: cpu only
+}
+
+TEST(Mds, DuplicateMissesCoalesce) {
+  MicroTrace mt;
+  const FileId a = mt.file("a", "/p/a");
+  mt.access(a);
+  mt.access(a);
+  Simulator sim;
+  NoopPredictor noop;
+  MdsServer mds(sim, fast_mds(), noop);
+  mds.populate(4);
+  int responses = 0;
+  const auto& recs = mt.records();
+  sim.schedule_at(0, [&] {
+    mds.handle_demand(recs[0], [&](SimTime) { ++responses; });
+    mds.handle_demand(recs[1], [&](SimTime) { ++responses; });
+  });
+  sim.run();
+  EXPECT_EQ(responses, 2);
+  EXPECT_EQ(mds.duplicate_suppressed(), 1u);
+  // Only one disk fetch happened.
+  EXPECT_EQ(mds.disk().completed(), 1u);
+}
+
+TEST(Mds, PrefetchLandsInCache) {
+  MicroTrace mt;
+  const FileId a = mt.file("a", "/h/u/g/a");
+  const FileId b = mt.file("b", "/h/u/g/b");
+  const FileId c = mt.file("c", "/h/u/g/c");
+  // Teach FPA the cycle a->b->c. Capacity 1 means the successor is never
+  // resident when predicted, so only a prefetch can produce the hit.
+  for (int i = 0; i < 4; ++i) {
+    mt.access(a);
+    mt.access(b);
+    mt.access(c);
+  }
+  FpaPredictor fpa(FarmerConfig{}, mt.dict());
+  Simulator sim;
+  auto cfg = fast_mds();
+  cfg.cache_capacity = 1;
+  MdsServer mds(sim, cfg, fpa);
+  mds.populate(4);
+  const auto& recs = mt.records();
+  SimTime t = 0;
+  for (const auto& r : recs) {
+    sim.schedule_at(t, [&mds, &r] { mds.handle_demand(r, [](SimTime) {}); });
+    t += 20000;
+  }
+  sim.run();
+  EXPECT_GT(mds.prefetch_batches(), 0u);
+  EXPECT_GT(mds.cache().stats().prefetch_used, 0u);
+}
+
+TEST(Mds, PopulateFillsTable) {
+  Simulator sim;
+  NoopPredictor noop;
+  MdsServer mds(sim, fast_mds(), noop);
+  mds.populate(100);
+  EXPECT_EQ(mds.metadata_table().size(), 100u);
+  EXPECT_TRUE(mds.metadata_table().get(99).has_value());
+}
+
+// -------------------------------------------------------------- cluster --
+
+TEST(Cluster, EveryDemandGetsResponse) {
+  const Trace t = make_paper_trace(TraceKind::kHP, 3, 0.01);
+  NoopPredictor noop;
+  ClusterConfig cfg;
+  cfg.mds = fast_mds();
+  cfg.mds.cache_capacity = 64;
+  const auto metrics = run_cluster(t, noop, cfg);
+  EXPECT_EQ(metrics.response.count(), t.records.size());
+  EXPECT_GT(metrics.mean_response_ms(), 0.0);
+}
+
+TEST(Cluster, PrefetchingReducesLatencyOnPredictableLoad) {
+  MicroTrace mt;
+  // A six-file cycle against a two-entry cache: LRU always misses, while
+  // accurate prefetching can stream the group ahead of the demands.
+  std::vector<FileId> ring;
+  for (int i = 0; i < 6; ++i)
+    ring.push_back(
+        mt.file("f" + std::to_string(i), "/h/u/g/f" + std::to_string(i)));
+  for (int rep = 0; rep < 60; ++rep)
+    for (const FileId f : ring) mt.access(f);
+  Trace t = mt.build();
+  ClusterConfig cfg;
+  cfg.mds = fast_mds();
+  cfg.mds.cache_capacity = 2;
+  cfg.mds.prefetch_degree = 1;  // just-in-time successor; degree > capacity
+                                // would evict its own prefetches
+  cfg.time_scale = 5.0;  // leave disk idle time for prefetches to run
+
+  NoopPredictor noop;
+  const auto lru = run_cluster(t, noop, cfg);
+  FpaPredictor fpa(FarmerConfig{}, mt.dict());
+  const auto far = run_cluster(t, fpa, cfg);
+  EXPECT_LT(far.response.mean(), lru.response.mean() * 0.8);
+}
+
+TEST(Cluster, TimeScaleCompressesSimulation) {
+  const Trace t = make_paper_trace(TraceKind::kINS, 9, 0.01);
+  NoopPredictor n1, n2;
+  ClusterConfig slow;
+  slow.mds = fast_mds();
+  ClusterConfig fast = slow;
+  fast.time_scale = 0.5;
+  const auto m_slow = run_cluster(t, n1, slow);
+  const auto m_fast = run_cluster(t, n2, fast);
+  EXPECT_LT(m_fast.sim_duration, m_slow.sim_duration);
+}
+
+// ------------------------------------------------------------------ OSD --
+
+TEST(Osd, AllocateAndFreeRoundTrip) {
+  Osd osd(1000);
+  auto e1 = osd.allocate(100);
+  ASSERT_TRUE(e1.has_value());
+  EXPECT_EQ(e1->start, 0u);
+  auto e2 = osd.allocate(200);
+  ASSERT_TRUE(e2.has_value());
+  EXPECT_EQ(e2->start, 100u);
+  EXPECT_EQ(osd.allocated(), 300u);
+  osd.free_extent(*e1);
+  EXPECT_EQ(osd.allocated(), 200u);
+}
+
+TEST(Osd, CoalescesAdjacentFreeExtents) {
+  Osd osd(1000);
+  auto a = osd.allocate(100);
+  auto b = osd.allocate(100);
+  auto c = osd.allocate(100);
+  ASSERT_TRUE(a && b && c);
+  osd.free_extent(*a);
+  osd.free_extent(*c);
+  // c coalesces with the tail free region -> fragments: [a], [c..end].
+  EXPECT_EQ(osd.free_fragments(), 2u);
+  osd.free_extent(*b);
+  EXPECT_EQ(osd.free_fragments(), 1u);
+  EXPECT_EQ(osd.largest_free(), 1000u);
+}
+
+TEST(Osd, AllocationFailsWhenFragmented) {
+  Osd osd(100);
+  auto a = osd.allocate(60);
+  ASSERT_TRUE(a.has_value());
+  EXPECT_FALSE(osd.allocate(50).has_value());
+  osd.free_extent(*a);
+  EXPECT_TRUE(osd.allocate(100).has_value());
+}
+
+TEST(Osd, SeekDistanceSymmetric) {
+  EXPECT_EQ(Osd::seek_distance(10, 50), 40u);
+  EXPECT_EQ(Osd::seek_distance(50, 10), 40u);
+  EXPECT_EQ(Osd::seek_distance(7, 7), 0u);
+}
+
+TEST(Osd, ZeroBlockAllocation) {
+  Osd osd(10);
+  auto e = osd.allocate(0);
+  ASSERT_TRUE(e.has_value());
+  EXPECT_EQ(e->length, 0u);
+  EXPECT_EQ(osd.allocated(), 0u);
+}
+
+}  // namespace
+}  // namespace farmer

@@ -1,0 +1,202 @@
+// Tests for the trace substrate: synthetic generators, profiles, and I/O.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <set>
+#include <sstream>
+
+#include "trace/generator.hpp"
+#include "trace/trace_io.hpp"
+
+namespace farmer {
+namespace {
+
+WorkloadProfile tiny_hp() {
+  auto p = WorkloadProfile::hp().scaled(0.02);
+  return p;
+}
+
+TEST(Generator, DeterministicForSeed) {
+  const Trace a = generate_trace(tiny_hp(), 42);
+  const Trace b = generate_trace(tiny_hp(), 42);
+  ASSERT_EQ(a.records.size(), b.records.size());
+  for (std::size_t i = 0; i < a.records.size(); ++i) {
+    EXPECT_EQ(a.records[i].timestamp, b.records[i].timestamp) << i;
+    EXPECT_EQ(a.records[i].file, b.records[i].file) << i;
+    EXPECT_EQ(a.records[i].process, b.records[i].process) << i;
+  }
+}
+
+TEST(Generator, DifferentSeedsDiffer) {
+  const Trace a = generate_trace(tiny_hp(), 1);
+  const Trace b = generate_trace(tiny_hp(), 2);
+  bool any_diff = a.records.size() != b.records.size();
+  for (std::size_t i = 0; !any_diff && i < a.records.size(); ++i)
+    any_diff = a.records[i].file != b.records[i].file;
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(Generator, TimestampsNonDecreasing) {
+  const Trace t = generate_trace(tiny_hp(), 7);
+  for (std::size_t i = 1; i < t.records.size(); ++i)
+    EXPECT_LE(t.records[i - 1].timestamp, t.records[i].timestamp) << i;
+}
+
+TEST(Generator, RecordsReferenceValidFiles) {
+  const Trace t = generate_trace(tiny_hp(), 7);
+  ASSERT_GT(t.records.size(), 0u);
+  for (const auto& r : t.records) {
+    ASSERT_TRUE(r.file.valid());
+    ASSERT_LT(r.file.value(), t.dict->files.size());
+    EXPECT_TRUE(r.user_token.valid());
+    EXPECT_TRUE(r.process_token.valid());
+    EXPECT_TRUE(r.host_token.valid());
+    EXPECT_TRUE(r.dev_token.valid());
+    EXPECT_TRUE(r.fid_token.valid());
+  }
+}
+
+TEST(Generator, HpHasPaths) {
+  const Trace t = generate_trace(tiny_hp(), 7);
+  EXPECT_TRUE(t.has_paths);
+  std::size_t with_path = 0;
+  for (const auto& r : t.records)
+    if (r.path.valid()) ++with_path;
+  EXPECT_EQ(with_path, t.records.size());
+}
+
+TEST(Generator, InsAndResLackPaths) {
+  for (auto kind : {TraceKind::kINS, TraceKind::kRES}) {
+    const Trace t = make_paper_trace(kind, 5, 0.02);
+    EXPECT_FALSE(t.has_paths);
+    for (const auto& r : t.records) EXPECT_FALSE(r.path.valid());
+  }
+}
+
+TEST(Generator, LlnlJobModeProducesJobsAndManyFiles) {
+  auto p = WorkloadProfile::llnl().scaled(0.05);
+  const Trace t = generate_trace(p, 11);
+  ASSERT_GT(t.records.size(), 0u);
+  std::set<std::uint32_t> jobs;
+  for (const auto& r : t.records)
+    if (r.job.valid()) jobs.insert(r.job.value());
+  EXPECT_GT(jobs.size(), 1u);
+  // Per-rank checkpoint files dominate the namespace.
+  EXPECT_GT(t.file_count(), p.jobs * p.ranks_per_job);
+}
+
+TEST(Generator, GroundTruthGroupsPopulated) {
+  const Trace t = generate_trace(tiny_hp(), 7);
+  std::size_t grouped = 0;
+  for (const auto& f : t.dict->files)
+    if (f.group != kNoGroup) ++grouped;
+  EXPECT_GT(grouped, 0u);
+}
+
+TEST(Generator, FileSizesWithinClamp) {
+  const Trace t = generate_trace(tiny_hp(), 7);
+  for (const auto& f : t.dict->files) {
+    EXPECT_GE(f.size_bytes, 512u);
+    EXPECT_LE(f.size_bytes, 64u * 1024 * 1024);
+  }
+}
+
+TEST(Generator, ScaledProfileShrinksVolume) {
+  const Trace big = generate_trace(WorkloadProfile::hp().scaled(0.05), 3);
+  const Trace small = generate_trace(WorkloadProfile::hp().scaled(0.01), 3);
+  EXPECT_GT(big.records.size(), small.records.size());
+  EXPECT_GT(big.file_count(), small.file_count());
+}
+
+TEST(Generator, InterleavingPresent) {
+  // Concurrency must interleave sessions: somewhere two adjacent records
+  // come from different processes.
+  const Trace t = generate_trace(tiny_hp(), 7);
+  bool interleaved = false;
+  for (std::size_t i = 1; i < t.records.size() && !interleaved; ++i)
+    interleaved = t.records[i].process != t.records[i - 1].process;
+  EXPECT_TRUE(interleaved);
+}
+
+TEST(Generator, PaperTraceFactoryCoversAllKinds) {
+  for (auto kind :
+       {TraceKind::kLLNL, TraceKind::kINS, TraceKind::kRES, TraceKind::kHP}) {
+    const Trace t = make_paper_trace(kind, 1, 0.02);
+    EXPECT_EQ(t.kind, kind);
+    EXPECT_GT(t.records.size(), 0u) << trace_kind_name(kind);
+  }
+}
+
+TEST(TraceKindName, AllNamed) {
+  EXPECT_STREQ(trace_kind_name(TraceKind::kLLNL), "LLNL");
+  EXPECT_STREQ(trace_kind_name(TraceKind::kINS), "INS");
+  EXPECT_STREQ(trace_kind_name(TraceKind::kRES), "RES");
+  EXPECT_STREQ(trace_kind_name(TraceKind::kHP), "HP");
+}
+
+TEST(Dictionary, PathStringRebuilds) {
+  TraceDictionary d;
+  SmallVector<TokenId, 8> comps;
+  comps.push_back(d.tokens.intern("home"));
+  comps.push_back(d.tokens.intern("user1"));
+  const PathId p = d.add_path(std::move(comps));
+  EXPECT_EQ(d.path_string(p), "/home/user1");
+  EXPECT_EQ(d.path_string(PathId()), "");
+}
+
+// ------------------------------------------------------------ trace I/O --
+
+class TraceIoTest : public ::testing::Test {
+ protected:
+  void TearDown() override { std::remove(path_.c_str()); }
+  std::string path_ = ::testing::TempDir() + "farmer_trace_test.bin";
+};
+
+TEST_F(TraceIoTest, BinaryRoundTrip) {
+  const Trace t = generate_trace(tiny_hp(), 99);
+  write_trace_binary(t, path_);
+  const Trace u = read_trace_binary(path_);
+  EXPECT_EQ(u.name, t.name);
+  EXPECT_EQ(u.kind, t.kind);
+  EXPECT_EQ(u.has_paths, t.has_paths);
+  ASSERT_EQ(u.records.size(), t.records.size());
+  ASSERT_EQ(u.file_count(), t.file_count());
+  for (std::size_t i = 0; i < t.records.size(); ++i) {
+    EXPECT_EQ(u.records[i].timestamp, t.records[i].timestamp);
+    EXPECT_EQ(u.records[i].file, t.records[i].file);
+    EXPECT_EQ(u.records[i].user_token, t.records[i].user_token);
+  }
+  // Dictionary strings survive.
+  for (std::size_t i = 0; i < t.dict->tokens.size(); ++i)
+    EXPECT_EQ(u.dict->tokens.resolve(TokenId(static_cast<std::uint32_t>(i))),
+              t.dict->tokens.resolve(TokenId(static_cast<std::uint32_t>(i))));
+}
+
+TEST_F(TraceIoTest, RejectsGarbage) {
+  {
+    std::FILE* f = std::fopen(path_.c_str(), "wb");
+    ASSERT_NE(f, nullptr);
+    std::fputs("not a trace", f);
+    std::fclose(f);
+  }
+  EXPECT_THROW((void)read_trace_binary(path_), std::runtime_error);
+}
+
+TEST_F(TraceIoTest, MissingFileThrows) {
+  EXPECT_THROW((void)read_trace_binary("/nonexistent/dir/t.bin"),
+               std::runtime_error);
+}
+
+TEST(TraceTsv, WritesHeaderAndRows) {
+  const Trace t = generate_trace(tiny_hp(), 1);
+  std::ostringstream os;
+  write_trace_tsv(t, os, 5);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("timestamp_us"), std::string::npos);
+  // 1 header + 5 rows.
+  EXPECT_EQ(std::count(out.begin(), out.end(), '\n'), 6);
+}
+
+}  // namespace
+}  // namespace farmer
