@@ -5,7 +5,6 @@
 //   4. MDS priority queues: demand-over-prefetch vs single queue (4.1)
 //   5. batched vs individual prefetch I/O (4.2)
 #include "bench_util.hpp"
-#include "core/sharded_farmer.hpp"
 #include "storage/cluster.hpp"
 
 int main() {
@@ -23,7 +22,7 @@ int main() {
     for (const bool lda : {true, false}) {
       FarmerConfig cfg = fpa_config(trace);
       cfg.lda_delta = lda ? 0.1 : 0.0;  // 0.0 = every distance weighs 1.0
-      FpaPredictor fpa(cfg, trace.dict);
+      auto fpa = make_fpa(trace, cfg);
       const auto r = replay_trace(trace, fpa, rc);
       t.add_row({lda ? "LDA (1.0, 0.9, 0.8, ...)" : "uniform (all 1.0)",
                  pct(r.hit_ratio()), pct(r.prefetch_accuracy())});
@@ -40,7 +39,7 @@ int main() {
     for (const auto mode : {PathMode::kIntegrated, PathMode::kDivided}) {
       FarmerConfig cfg = fpa_config(trace);
       cfg.path_mode = mode;
-      FpaPredictor fpa(cfg, trace.dict);
+      auto fpa = make_fpa(trace, cfg);
       const auto r = replay_trace(trace, fpa, rc);
       t.add_row({mode == PathMode::kIntegrated ? "IPA" : "DPA",
                  pct(r.hit_ratio()), pct(r.prefetch_accuracy())});
@@ -59,11 +58,11 @@ int main() {
     for (const double s : {0.4, 0.0}) {
       FarmerConfig cfg = fpa_config(trace);
       cfg.max_strength = s;
-      FpaPredictor fpa(cfg, trace.dict);
+      auto fpa = make_fpa(trace, cfg);
       const auto r = replay_trace(trace, fpa, rc);
       std::size_t entries = 0;
       for (std::uint32_t f = 0; f < trace.file_count(); ++f)
-        entries += fpa.model().correlators(FileId(f)).size();
+        entries += fpa.model().snapshot(FileId(f)).size();
       t.add_row({fmt_double(s, 1), pct(r.hit_ratio()),
                  pct(r.prefetch_accuracy()), pct(r.cache.pollution_ratio()),
                  std::to_string(entries)});
@@ -78,7 +77,7 @@ int main() {
   {
     Table t({"configuration", "mean RT (ms)", "p95 RT (ms)"});
     for (const bool batch : {true, false}) {
-      FpaPredictor fpa(fpa_config(trace), trace.dict);
+      auto fpa = make_fpa(trace);
       ClusterConfig cc;
       cc.mds.cache_capacity = default_cache_capacity(trace);
       cc.mds.prefetch_degree = kDefaultPrefetchDegree;
@@ -99,17 +98,13 @@ int main() {
       "serial vs sharded mining (4 shards, stream-partitioned)",
       "sharding preserves list quality while enabling parallel ingest");
   {
-    FpaPredictor serial(fpa_config(trace), trace.dict);
-    for (const auto& r : trace.records) serial.observe(r);
-    ShardedFarmer sharded(fpa_config(trace), trace.dict, 4);
-    sharded.observe_batch(trace.records);
-
-    auto precision = [&](auto&& correlators_of) {
+    // Backends come from the factory: the ablation is a string, not a type.
+    auto precision = [&](const CorrelationMiner& miner) {
       std::uint64_t intra = 0, total = 0;
       for (std::uint32_t f = 0; f < trace.file_count(); ++f) {
         const auto g = trace.dict->files[f].group;
         if (g == kNoGroup) continue;
-        for (const auto& c : correlators_of(FileId(f))) {
+        for (const auto& c : miner.snapshot(FileId(f))) {
           ++total;
           if (trace.dict->files[c.file.value()].group == g) ++intra;
         }
@@ -117,15 +112,16 @@ int main() {
       return total ? static_cast<double>(intra) / static_cast<double>(total)
                    : 0.0;
     };
+    MinerOptions opts;
+    opts.shards = 4;
     Table t({"miner", "ground-truth precision", "footprint"});
-    t.add_row({"serial Farmer",
-               pct(precision([&](FileId f) -> decltype(auto) {
-                 return serial.model().correlators(f);
-               })),
-               fmt_bytes(serial.footprint_bytes())});
-    t.add_row({"ShardedFarmer x4",
-               pct(precision([&](FileId f) { return sharded.correlators(f); })),
-               fmt_bytes(sharded.footprint_bytes())});
+    for (const char* backend : {"farmer", "sharded"}) {
+      const auto miner =
+          make_miner(backend, fpa_config(trace), trace.dict, opts);
+      miner->observe_batch(trace.records);
+      t.add_row({miner->name(), pct(precision(*miner)),
+                 fmt_bytes(miner->footprint_bytes())});
+    }
     t.print(std::cout);
   }
   return 0;

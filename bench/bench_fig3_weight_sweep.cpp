@@ -37,7 +37,7 @@ int main() {
       FarmerConfig cfg = fpa_config(trace);
       cfg.p = grid[i].p;
       cfg.max_strength = grid[i].strength;
-      FpaPredictor fpa(cfg, trace.dict);
+      auto fpa = make_fpa(trace, cfg);
       grid[i].hit = replay_trace(trace, fpa, rc).hit_ratio();
     });
 

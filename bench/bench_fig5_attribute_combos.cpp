@@ -37,7 +37,7 @@ int main() {
     parallel_for(combos.size(), [&](std::size_t i) {
       FarmerConfig cfg = fpa_config(trace);
       cfg.attributes = combos[i].mask;
-      FpaPredictor fpa(cfg, trace.dict);
+      auto fpa = make_fpa(trace, cfg);
       hits[i] = replay_trace(trace, fpa, rc).hit_ratio();
     });
 

@@ -34,7 +34,7 @@ int main() {
   parallel_for(cells.size(), [&](std::size_t i) {
     FarmerConfig cfg = fpa_config(trace);
     cfg.max_strength = cells[i].strength;
-    FpaPredictor fpa(cfg, trace.dict);
+    auto fpa = make_fpa(trace, cfg);
     ClusterConfig cc;
     cc.mds.cache_capacity = default_cache_capacity(trace);
     cc.mds.prefetch_degree = kDefaultPrefetchDegree;

@@ -22,7 +22,7 @@ int main() {
     const Trace& trace = paper_trace(kind);
     const ReplayConfig rc = replay_config(trace);
 
-    FpaPredictor fpa(fpa_config(trace), trace.dict);
+    auto fpa = make_fpa(trace);
     NexusPredictor nexus;
     NoopPredictor lru;
     const double h_fpa = replay_trace(trace, fpa, rc).hit_ratio();

@@ -31,7 +31,7 @@ int main() {
       return run_cluster(trace, *p, cc).mean_response_ms();
     };
     const double fpa =
-        run(std::make_unique<FpaPredictor>(fpa_config(trace), trace.dict));
+        run(std::make_unique<FpaPredictor>(make_fpa(trace)));
     const double nexus = run(std::make_unique<NexusPredictor>());
     const double lru = run(std::make_unique<NoopPredictor>());
 

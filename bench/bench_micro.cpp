@@ -68,11 +68,13 @@ void BM_GraphTransition(benchmark::State& state) {
 BENCHMARK(BM_GraphTransition);
 
 void BM_FarmerObserve(benchmark::State& state) {
+  // Backend comes from the factory (FARMER_MINER), so the same binary
+  // measures serial, sharded, and nexus ingest.
   const Trace& trace = hp();
-  Farmer model(fpa_config(trace), trace.dict);
+  const auto model = make_bench_miner(trace, fpa_config(trace));
   std::size_t i = 0;
   for (auto _ : state) {
-    model.observe(trace.records[i % trace.records.size()]);
+    model->observe(trace.records[i % trace.records.size()]);
     ++i;
   }
   state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
@@ -81,7 +83,7 @@ BENCHMARK(BM_FarmerObserve);
 
 void BM_FpaPredict(benchmark::State& state) {
   const Trace& trace = hp();
-  FpaPredictor fpa(fpa_config(trace), trace.dict);
+  auto fpa = make_fpa(trace);
   for (const auto& r : trace.records) fpa.observe(r);
   std::size_t i = 0;
   PredictionList out;
@@ -138,7 +140,7 @@ void BM_EndToEndReplay(benchmark::State& state) {
   // Whole-pipeline throughput: events per second through FPA + cache.
   const Trace& trace = hp();
   for (auto _ : state) {
-    FpaPredictor fpa(fpa_config(trace), trace.dict);
+    auto fpa = make_fpa(trace);
     const auto r = replay_trace(trace, fpa, replay_config(trace));
     benchmark::DoNotOptimize(r.hit_ratio());
   }

@@ -16,7 +16,7 @@ int main() {
   const Trace& trace = paper_trace(TraceKind::kHP);
   const ReplayConfig rc = replay_config(trace);
 
-  FpaPredictor fpa(fpa_config(trace), trace.dict);
+  auto fpa = make_fpa(trace);
   NexusPredictor nexus;
   const auto r_fpa = replay_trace(trace, fpa, rc);
   const auto r_nexus = replay_trace(trace, nexus, rc);
@@ -38,7 +38,7 @@ int main() {
        {TraceKind::kLLNL, TraceKind::kINS, TraceKind::kRES}) {
     const Trace& t = paper_trace(kind);
     const ReplayConfig c = replay_config(t);
-    FpaPredictor f(fpa_config(t), t.dict);
+    auto f = make_fpa(t);
     NexusPredictor n;
     extra.add_row({trace_kind_name(kind),
                    pct(replay_trace(t, f, c).prefetch_accuracy()),

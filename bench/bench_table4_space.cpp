@@ -24,7 +24,7 @@ int main() {
   std::size_t i = 0;
   for (const TraceKind kind : kAllKinds) {
     const Trace& trace = paper_trace(kind);
-    FpaPredictor fpa(fpa_config(trace), trace.dict);
+    auto fpa = make_fpa(trace);
     for (const auto& rec : trace.records) fpa.observe(rec);
     const std::size_t bytes = fpa.footprint_bytes();
     table.add_row(

@@ -4,12 +4,16 @@
 // are comparable across binaries. Traces are cached per process.
 #pragma once
 
+#include <cerrno>
+#include <cstdlib>
 #include <iostream>
 #include <map>
 #include <string>
+#include <string_view>
 
 #include "analysis/experiment.hpp"
 #include "analysis/table.hpp"
+#include "api/miner_factory.hpp"
 #include "core/config.hpp"
 #include "prefetch/fpa.hpp"
 #include "prefetch/nexus.hpp"
@@ -41,6 +45,65 @@ inline FarmerConfig fpa_config(const Trace& trace) {
   cfg.attributes = trace.has_paths ? AttributeMask::all_with_path()
                                    : AttributeMask::all_with_fileid();
   return cfg;
+}
+
+/// Mining backend behind every bench's FPA, selected at runtime:
+///   FARMER_MINER=farmer|sharded|nexus   (default "farmer")
+///   FARMER_SHARDS=<n>                   (default 4, "sharded" only)
+/// so ablations over the backend are a flag, not a recompile.
+inline const char* miner_backend() {
+  const char* b = std::getenv("FARMER_MINER");
+  return (b && *b) ? b : "farmer";
+}
+
+inline MinerOptions miner_options() {
+  MinerOptions opts;
+  if (const char* s = std::getenv("FARMER_SHARDS"); s && *s) {
+    constexpr unsigned long kMaxShards = 4096;
+    char* end = nullptr;
+    errno = 0;
+    const unsigned long n = std::strtoul(s, &end, 10);
+    if (end == s || *end != '\0' || n == 0 || errno == ERANGE ||
+        n > kMaxShards) {
+      std::cerr << "invalid FARMER_SHARDS \"" << s
+                << "\": expected an integer in [1, " << kMaxShards << "]\n";
+      std::exit(2);
+    }
+    opts.shards = static_cast<std::size_t>(n);
+  }
+  return opts;
+}
+
+/// Miner for the selected backend (validated through the factory). The
+/// selection is announced once on stderr so saved bench output records
+/// which backend produced it.
+inline std::unique_ptr<CorrelationMiner> make_bench_miner(
+    const Trace& trace, const FarmerConfig& cfg) {
+  const MinerOptions opts = miner_options();
+  std::unique_ptr<CorrelationMiner> miner;
+  try {
+    miner = make_miner(miner_backend(), cfg, trace.dict, opts);
+  } catch (const std::invalid_argument& e) {
+    std::cerr << e.what() << "\n";
+    std::exit(2);
+  }
+  static const bool announced = [&] {
+    std::cerr << "mining backend: " << miner->name();
+    if (std::string_view(miner->name()) == "sharded")
+      std::cerr << " (shards=" << opts.shards << ")";
+    std::cerr << "\n";
+    return true;
+  }();
+  (void)announced;
+  return miner;
+}
+
+/// FPA over the selected backend.
+inline FpaPredictor make_fpa(const Trace& trace, const FarmerConfig& cfg) {
+  return FpaPredictor(make_bench_miner(trace, cfg));
+}
+inline FpaPredictor make_fpa(const Trace& trace) {
+  return make_fpa(trace, fpa_config(trace));
 }
 
 inline ReplayConfig replay_config(const Trace& trace) {

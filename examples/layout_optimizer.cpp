@@ -2,12 +2,13 @@
 // read-only files, place groups contiguously on OSDs and compare the I/O
 // cost model against creation-order scatter.
 //
-//   ./layout_optimizer [LLNL|INS|RES|HP] [scale]
+//   ./layout_optimizer [LLNL|INS|RES|HP] [scale] [backend]
 #include <cstdlib>
 #include <iostream>
 
 #include "analysis/experiment.hpp"
 #include "analysis/table.hpp"
+#include "api/miner_factory.hpp"
 #include "common/stats.hpp"
 #include "layout/layout.hpp"
 #include "trace/generator.hpp"
@@ -16,6 +17,7 @@ int main(int argc, char** argv) {
   using namespace farmer;
   const std::string kind_s = argc > 1 ? argv[1] : "HP";
   const double scale = argc > 2 ? std::strtod(argv[2], nullptr) : 0.15;
+  const char* backend = argc > 3 ? argv[3] : "farmer";
   const TraceKind kind = kind_s == "LLNL" ? TraceKind::kLLNL
                          : kind_s == "INS" ? TraceKind::kINS
                          : kind_s == "RES" ? TraceKind::kRES
@@ -25,11 +27,17 @@ int main(int argc, char** argv) {
   FarmerConfig cfg;
   cfg.attributes = trace.has_paths ? AttributeMask::all_with_path()
                                    : AttributeMask::all_with_fileid();
-  Farmer model(cfg, trace.dict);
-  for (const auto& rec : trace.records) model.observe(rec);
+  std::unique_ptr<CorrelationMiner> model;
+  try {
+    model = make_miner(backend, cfg, trace.dict);
+  } catch (const std::invalid_argument& e) {
+    std::cerr << e.what() << "\n";
+    return 1;
+  }
+  model->observe_batch(trace.records);
 
   GrouperConfig gc;
-  const auto groups = build_groups(model, *trace.dict, gc);
+  const auto groups = build_groups(*model, *trace.dict, gc);
   std::cout << "mined " << groups.groups.size() << " layout groups covering "
             << groups.grouped_files << " of " << trace.file_count()
             << " files (read-only only: " << std::boolalpha

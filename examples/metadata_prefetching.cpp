@@ -10,6 +10,7 @@
 
 #include "analysis/experiment.hpp"
 #include "analysis/table.hpp"
+#include "api/miner_factory.hpp"
 #include "prefetch/fpa.hpp"
 #include "prefetch/nexus.hpp"
 #include "prefetch/probability_graph.hpp"
@@ -52,8 +53,8 @@ int main(int argc, char** argv) {
     std::unique_ptr<Predictor> predictor;
   };
   std::vector<Entry> entries;
-  entries.push_back({"FPA", std::make_unique<FpaPredictor>(fpa_cfg,
-                                                           trace.dict)});
+  entries.push_back({"FPA", std::make_unique<FpaPredictor>(make_miner(
+                                "farmer", fpa_cfg, trace.dict))});
   entries.push_back({"Nexus", std::make_unique<NexusPredictor>()});
   entries.push_back({"ProbGraph",
                      std::make_unique<ProbabilityGraphPredictor>()});
@@ -97,7 +98,8 @@ int main(int argc, char** argv) {
                            std::string("LRU (no prefetch)")}) {
     std::unique_ptr<Predictor> p;
     if (name == "FPA")
-      p = std::make_unique<FpaPredictor>(fpa_cfg, trace.dict);
+      p = std::make_unique<FpaPredictor>(
+          make_miner("farmer", fpa_cfg, trace.dict));
     else if (name == "Nexus")
       p = std::make_unique<NexusPredictor>();
     else

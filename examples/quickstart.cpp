@@ -1,51 +1,69 @@
 // Quickstart: mine file correlations from a synthetic workload and inspect
 // the Correlator Lists FARMER produces.
 //
-//   ./quickstart [seed]
+//   ./quickstart [seed] [backend]
 //
 // Walks through the full public API surface in ~60 lines: generate a trace,
-// configure the model, ingest the stream, query correlations.
+// build a validated configuration, construct a mining backend through the
+// factory, ingest the stream, query correlations.
 #include <cstdlib>
 #include <iostream>
 
 #include "analysis/table.hpp"
+#include "api/miner_factory.hpp"
 #include "common/stats.hpp"
-#include "core/farmer.hpp"
 #include "trace/generator.hpp"
 
 int main(int argc, char** argv) {
   using namespace farmer;
   const std::uint64_t seed =
       argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 7;
+  const char* backend = argc > 2 ? argv[2] : "farmer";
 
   // 1. A workload: the HP-style time-sharing trace at 5% scale.
   const Trace trace = make_paper_trace(TraceKind::kHP, seed, 0.05);
   std::cout << "trace: " << trace.name << ", " << trace.event_count()
             << " events over " << trace.file_count() << " files\n";
 
-  // 2. The model. Defaults follow the paper: p = 0.7, max_strength = 0.4,
-  //    IPA path handling, all four attributes.
-  FarmerConfig config;
-  Farmer model(config, trace.dict);
+  // 2. A validated configuration. Defaults follow the paper: p = 0.7,
+  //    max_strength = 0.4, IPA path handling, all four attributes. The
+  //    builder rejects out-of-range parameters instead of mining garbage.
+  const FarmerConfigResult cfg =
+      FarmerConfig::builder().p(0.7).max_strength(0.4).window(4).build();
+  if (!cfg) {
+    std::cerr << "bad config: " << cfg.error() << "\n";
+    return 1;
+  }
 
-  // 3. Ingest: each request runs the four-stage pipeline (extract,
+  // 3. The model, chosen at runtime: "farmer" (serial), "sharded"
+  //    (parallel ingest), or "nexus" (the p = 0 sequence-only baseline).
+  std::unique_ptr<CorrelationMiner> model;
+  try {
+    model = make_miner(backend, cfg.value(), trace.dict);
+  } catch (const std::invalid_argument& e) {
+    std::cerr << e.what() << "\n";
+    return 1;
+  }
+
+  // 4. Ingest: each request runs the four-stage pipeline (extract,
   //    construct, mine & evaluate, sort).
-  for (const TraceRecord& rec : trace.records) model.observe(rec);
+  model->observe_batch(trace.records);
 
-  const auto stats = model.stats();
-  std::cout << "requests: " << stats.requests
-            << ", pairs evaluated: " << stats.mining.pairs_evaluated
-            << ", accepted: " << stats.mining.pairs_accepted << " ("
-            << fmt_double(stats.mining.acceptance_rate() * 100, 1)
-            << "%), footprint: " << fmt_bytes(model.footprint_bytes())
+  const MinerStats stats = model->stats();
+  std::cout << "backend: " << model->name() << ", requests: "
+            << stats.requests
+            << ", pairs evaluated: " << stats.pairs_evaluated
+            << ", accepted: " << stats.pairs_accepted << " ("
+            << fmt_double(stats.acceptance_rate() * 100, 1)
+            << "%), footprint: " << fmt_bytes(model->footprint_bytes())
             << "\n\n";
 
-  // 4. Query: show the strongest Correlator Lists.
+  // 5. Query: show the strongest Correlator Lists via immutable snapshots.
   Table table({"file", "correlated file", "degree", "same dir"});
   const TraceDictionary& dict = *trace.dict;
   std::size_t shown = 0;
   for (std::uint32_t f = 0; f < trace.file_count() && shown < 12; ++f) {
-    const auto& list = model.correlators(FileId(f));
+    const CorrelatorView list = model->snapshot(FileId(f));
     if (list.size() < 2) continue;
     for (const Correlator& c : list) {
       const auto& fa = dict.files[f];

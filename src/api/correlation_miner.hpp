@@ -1,0 +1,169 @@
+// The mining API boundary.
+//
+// The paper's FARMER model is one *producer* of Correlator Lists; the
+// downstream optimizers — metadata prefetching (Section 4.1), data layout
+// (Section 4.2), policy propagation (Section 4.3) — only ever consume the
+// lists plus a handful of evaluation queries. `CorrelationMiner` is that
+// boundary, mirroring the `Predictor` polymorphism in prefetch/predictor.hpp:
+// consumers bind to the interface and any backend (serial FARMER, sharded
+// FARMER, the Nexus p = 0 baseline, future remote/async miners) plugs in
+// behind it without recompiling a single consumer.
+//
+// Queries go through `snapshot()`, which returns an immutable
+// `CorrelatorView`: backends whose lists are stable between `observe()`
+// calls hand out a zero-copy span, backends that merge on demand (sharded)
+// hand out an owning snapshot — either way the caller never observes a
+// Correlator List mid-resort.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/types.hpp"
+#include "graph/correlation_graph.hpp"
+#include "trace/record.hpp"
+
+namespace farmer {
+
+/// Backend-agnostic counters (Table 4 / Section 3.3 accounting).
+struct MinerStats {
+  std::uint64_t requests = 0;         ///< observe() calls ingested
+  std::uint64_t pairs_evaluated = 0;  ///< CoMiner R(x,y) evaluations
+  std::uint64_t pairs_accepted = 0;   ///< R >= max_strength
+  std::uint64_t pairs_filtered = 0;   ///< R <  max_strength
+  std::size_t shards = 1;             ///< parallel mining partitions
+
+  [[nodiscard]] double acceptance_rate() const noexcept {
+    return pairs_evaluated
+               ? static_cast<double>(pairs_accepted) /
+                     static_cast<double>(pairs_evaluated)
+               : 0.0;
+  }
+};
+
+/// An immutable snapshot of one file's Correlator List.
+///
+/// Either *borrows* storage owned by the backend (valid until the next
+/// non-const call on the miner — the usual query-then-act pattern) or *owns*
+/// a merged copy (sharded backends). Move-only: copying an owning view would
+/// silently re-point the span at the source's buffer.
+class CorrelatorView {
+ public:
+  CorrelatorView() = default;
+  explicit CorrelatorView(std::span<const Correlator> borrowed)
+      : view_(borrowed) {}
+  explicit CorrelatorView(std::vector<Correlator> owned)
+      : owned_(std::move(owned)), view_(owned_), owns_(true) {}
+
+  // std::vector's move transfers the heap buffer, so the destination's span
+  // stays valid; the source is emptied so it cannot alias that buffer.
+  CorrelatorView(CorrelatorView&& other) noexcept
+      : owned_(std::move(other.owned_)),
+        view_(other.view_),
+        owns_(other.owns_) {
+    other.view_ = {};
+    other.owns_ = false;
+  }
+  CorrelatorView& operator=(CorrelatorView&& other) noexcept {
+    if (this != &other) {
+      owned_ = std::move(other.owned_);
+      view_ = other.view_;
+      owns_ = other.owns_;
+      other.view_ = {};
+      other.owns_ = false;
+    }
+    return *this;
+  }
+  CorrelatorView(const CorrelatorView&) = delete;
+  CorrelatorView& operator=(const CorrelatorView&) = delete;
+
+  [[nodiscard]] std::span<const Correlator> entries() const noexcept {
+    return view_;
+  }
+  [[nodiscard]] const Correlator* begin() const noexcept {
+    return view_.data();
+  }
+  [[nodiscard]] const Correlator* end() const noexcept {
+    return view_.data() + view_.size();
+  }
+  [[nodiscard]] std::size_t size() const noexcept { return view_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return view_.empty(); }
+  [[nodiscard]] const Correlator& operator[](std::size_t i) const noexcept {
+    return view_[i];
+  }
+  [[nodiscard]] const Correlator& front() const noexcept {
+    return view_.front();
+  }
+  /// True when this view carries its own storage (merged snapshot) —
+  /// including an empty one; borrowed views depend on the miner's lifetime.
+  [[nodiscard]] bool owns_storage() const noexcept { return owns_; }
+
+  /// Moves the owned storage out (owning views only; borrowed views copy).
+  [[nodiscard]] std::vector<Correlator> take() && {
+    if (owns_) {
+      std::vector<Correlator> out = std::move(owned_);
+      view_ = {};
+      owns_ = false;
+      return out;
+    }
+    return std::vector<Correlator>(begin(), end());
+  }
+
+ private:
+  std::vector<Correlator> owned_;
+  std::span<const Correlator> view_;
+  bool owns_ = false;
+};
+
+/// Abstract producer of Correlator Lists.
+class CorrelationMiner {
+ public:
+  virtual ~CorrelationMiner() = default;
+
+  /// Ingests one file request (the full mining pipeline of the backend).
+  virtual void observe(const TraceRecord& rec) = 0;
+
+  /// Ingests a batch. Backends with internal parallelism (sharding) override
+  /// this; the default is the serial loop.
+  virtual void observe_batch(std::span<const TraceRecord> records) {
+    for (const TraceRecord& r : records) observe(r);
+  }
+
+  /// Immutable snapshot of `f`'s Correlator List, sorted by descending
+  /// degree. Every entry passed the backend's validity threshold.
+  [[nodiscard]] virtual CorrelatorView snapshot(FileId f) const = 0;
+
+  /// Materialized Correlator List (convenience over snapshot()). Owning
+  /// snapshots are moved out, not re-copied.
+  [[nodiscard]] std::vector<Correlator> correlators(FileId f) const {
+    return snapshot(f).take();
+  }
+
+  /// R(a, b) under the current state (evaluation-only; no list updates).
+  [[nodiscard]] virtual double correlation_degree(FileId a, FileId b) const = 0;
+
+  /// Raw semantic distance sim(a, b); 0 for sequence-only backends or when
+  /// either file has no recorded context yet.
+  [[nodiscard]] virtual double semantic_similarity(FileId a,
+                                                   FileId b) const {
+    return 0.0;
+  }
+
+  /// N_f: total recorded accesses of `f` (0 if unknown).
+  [[nodiscard]] virtual std::uint64_t access_count(FileId f) const = 0;
+
+  /// F(pred, succ) = N_AB / N_A; 0 when N_A == 0.
+  [[nodiscard]] virtual double access_frequency(FileId pred,
+                                                FileId succ) const = 0;
+
+  [[nodiscard]] virtual MinerStats stats() const = 0;
+
+  /// Additional memory the miner holds (Table 4 accounting).
+  [[nodiscard]] virtual std::size_t footprint_bytes() const = 0;
+
+  /// Stable backend identifier; matches the factory name (miner_factory.hpp).
+  [[nodiscard]] virtual const char* name() const noexcept = 0;
+};
+
+}  // namespace farmer

@@ -1,0 +1,98 @@
+#include "api/miner_factory.hpp"
+
+#include <map>
+#include <stdexcept>
+#include <utility>
+
+#include "core/farmer.hpp"
+#include "core/sharded_farmer.hpp"
+
+namespace farmer {
+
+namespace {
+
+// The Nexus baseline as a miner: the paper's p = 0 reduction ("If the
+// weight value is 0, FARMER is reduced to Nexus") with no validity
+// threshold — successors rank purely by LDA-weighted access frequency.
+class NexusMiner final : public Farmer {
+ public:
+  NexusMiner(FarmerConfig cfg, std::shared_ptr<const TraceDictionary> dict)
+      : Farmer(nexus_config(cfg), std::move(dict)) {}
+
+  // Sequence-only: the semantic factor is weighted out, report none.
+  [[nodiscard]] double semantic_similarity(FileId, FileId) const override {
+    return 0.0;
+  }
+  [[nodiscard]] const char* name() const noexcept override { return "nexus"; }
+
+ private:
+  static FarmerConfig nexus_config(FarmerConfig cfg) {
+    cfg.p = 0.0;            // sequence factor only
+    cfg.max_strength = 0.0; // Nexus keeps every observed successor
+    return cfg;
+  }
+};
+
+using Registry = std::map<std::string, MinerFactoryFn, std::less<>>;
+
+Registry& registry() {
+  static Registry r = [] {
+    Registry built_in;
+    built_in["farmer"] = [](const FarmerConfig& cfg,
+                            std::shared_ptr<const TraceDictionary> dict,
+                            const MinerOptions&) {
+      return std::make_unique<Farmer>(cfg, std::move(dict));
+    };
+    built_in["sharded"] = [](const FarmerConfig& cfg,
+                             std::shared_ptr<const TraceDictionary> dict,
+                             const MinerOptions& opts) {
+      return std::make_unique<ShardedFarmer>(cfg, std::move(dict),
+                                             opts.shards);
+    };
+    built_in["nexus"] = [](const FarmerConfig& cfg,
+                           std::shared_ptr<const TraceDictionary> dict,
+                           const MinerOptions&) {
+      return std::make_unique<NexusMiner>(cfg, std::move(dict));
+    };
+    return built_in;
+  }();
+  return r;
+}
+
+}  // namespace
+
+bool register_miner(const std::string& name, MinerFactoryFn factory) {
+  auto [it, inserted] = registry().insert_or_assign(name, std::move(factory));
+  (void)it;
+  return inserted;
+}
+
+std::vector<std::string> registered_miners() {
+  std::vector<std::string> names;
+  names.reserve(registry().size());
+  for (const auto& [name, fn] : registry()) names.push_back(name);
+  return names;
+}
+
+std::unique_ptr<CorrelationMiner> make_miner(
+    std::string_view name, const FarmerConfig& cfg,
+    std::shared_ptr<const TraceDictionary> dict, const MinerOptions& opts) {
+  const std::string errors = cfg.validate();
+  if (!errors.empty())
+    throw std::invalid_argument("make_miner: invalid FarmerConfig: " +
+                                errors);
+  const auto it = registry().find(name);
+  if (it == registry().end()) {
+    std::string known;
+    for (const auto& n : registered_miners()) {
+      if (!known.empty()) known += ", ";
+      known += n;
+    }
+    throw std::invalid_argument("make_miner: unknown backend \"" +
+                                std::string(name) + "\" (registered: " +
+                                known + ")");
+  }
+  return it->second(cfg, std::move(dict), opts);
+}
+
+}  // namespace farmer

@@ -1,0 +1,49 @@
+// Runtime-selectable mining backends.
+//
+// `make_miner("farmer" | "sharded" | "nexus", cfg, dict, opts)` turns the
+// backend choice into data: benches flip ablations (Table 2/3, Fig. 3/6)
+// with a string flag instead of a recompiled type, and later scaling PRs
+// (async ingest, remote shards) register themselves via `register_miner`
+// without touching any consumer.
+//
+// The configuration is validated (FarmerConfig::validate) before any
+// backend is constructed; a bad config or an unknown backend name throws
+// std::invalid_argument naming the problem and the registered backends.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "api/correlation_miner.hpp"
+#include "core/config.hpp"
+#include "trace/record.hpp"
+
+namespace farmer {
+
+/// Backend knobs that are not model parameters.
+struct MinerOptions {
+  std::size_t shards = 4;  ///< partitions for the "sharded" backend
+};
+
+using MinerFactoryFn = std::function<std::unique_ptr<CorrelationMiner>(
+    const FarmerConfig& cfg, std::shared_ptr<const TraceDictionary> dict,
+    const MinerOptions& opts)>;
+
+/// Adds (or replaces) a backend under `name`. Returns true when `name` was
+/// new. Built-ins "farmer", "sharded" and "nexus" are pre-registered.
+bool register_miner(const std::string& name, MinerFactoryFn factory);
+
+/// Registered backend names, sorted.
+[[nodiscard]] std::vector<std::string> registered_miners();
+
+/// Constructs the backend registered under `name`. Throws
+/// std::invalid_argument on an unknown name or an invalid `cfg`.
+[[nodiscard]] std::unique_ptr<CorrelationMiner> make_miner(
+    std::string_view name, const FarmerConfig& cfg,
+    std::shared_ptr<const TraceDictionary> dict,
+    const MinerOptions& opts = {});
+
+}  // namespace farmer

@@ -7,13 +7,15 @@
 //
 // `observe()` runs all four stages for one request; the model is fully
 // incremental ("iterative process that repeats itself for each incoming
-// request"). Correlator Lists are the public product, consumed by the
-// prefetcher (Section 4.1) and the layout optimizer (Section 4.2).
+// request"). Correlator Lists are the public product, consumed through the
+// `CorrelationMiner` interface by the prefetcher (Section 4.1), the layout
+// optimizer (Section 4.2) and policy propagation (Section 4.3).
 #pragma once
 
 #include <memory>
 #include <vector>
 
+#include "api/correlation_miner.hpp"
 #include "core/cominer.hpp"
 #include "core/config.hpp"
 #include "core/extractor.hpp"
@@ -23,48 +25,65 @@
 
 namespace farmer {
 
-/// Aggregate counters + memory accounting for Table 4.
-struct FarmerStats {
-  std::uint64_t requests = 0;
-  CoMinerStats mining;
-};
-
-class Farmer {
+class Farmer : public CorrelationMiner {
  public:
   Farmer(FarmerConfig cfg, std::shared_ptr<const TraceDictionary> dict);
 
   /// Ingests one file request (all four stages).
-  void observe(const TraceRecord& rec);
+  void observe(const TraceRecord& rec) override;
 
   /// Sorted Correlator List of `f` (may be empty). Entries all satisfy
-  /// degree >= max_strength at their last evaluation.
-  [[nodiscard]] const SmallVector<Correlator, 4>& correlators(
+  /// degree >= max_strength at their last evaluation. Zero-copy fast path
+  /// for concrete-`Farmer` callers; interface callers use snapshot().
+  [[nodiscard]] const SmallVector<Correlator, 4>& correlator_list(
       FileId f) const noexcept {
     return graph_.correlators(f);
   }
 
+  /// Borrowed view over the live list: the list only changes inside
+  /// observe(), so the snapshot is stable for the whole query-then-act
+  /// step of any consumer.
+  [[nodiscard]] CorrelatorView snapshot(FileId f) const override {
+    const auto& list = graph_.correlators(f);
+    return CorrelatorView(std::span<const Correlator>(list.data(),
+                                                      list.size()));
+  }
+
   /// Correlation degree between two files under the current state
   /// (evaluation-only; does not modify any list).
-  [[nodiscard]] double correlation_degree(FileId a, FileId b) const;
+  [[nodiscard]] double correlation_degree(FileId a, FileId b) const override;
 
   /// Raw semantic distance sim(a, b) under the current state (no frequency
   /// component); 0 when either file has no recorded context yet.
-  [[nodiscard]] double semantic_similarity(FileId a, FileId b) const;
+  [[nodiscard]] double semantic_similarity(FileId a, FileId b) const override;
+
+  [[nodiscard]] std::uint64_t access_count(FileId f) const override {
+    return graph_.access_count(f);
+  }
+  [[nodiscard]] double access_frequency(FileId pred,
+                                        FileId succ) const override {
+    return graph_.access_frequency(pred, succ);
+  }
 
   [[nodiscard]] const CorrelationGraph& graph() const noexcept {
     return graph_;
   }
   [[nodiscard]] const FarmerConfig& config() const noexcept { return cfg_; }
-  [[nodiscard]] FarmerStats stats() const noexcept {
-    FarmerStats s;
+  [[nodiscard]] MinerStats stats() const override {
+    MinerStats s;
     s.requests = requests_;
-    s.mining = miner_.stats();
+    s.pairs_evaluated = miner_.stats().pairs_evaluated;
+    s.pairs_accepted = miner_.stats().pairs_accepted;
+    s.pairs_filtered = miner_.stats().pairs_filtered;
+    s.shards = 1;
     return s;
   }
 
+  [[nodiscard]] const char* name() const noexcept override { return "farmer"; }
+
   /// Total additional memory FARMER holds: graph + correlator lists +
   /// per-active-file semantic state (Table 4 accounting).
-  [[nodiscard]] std::size_t footprint_bytes() const noexcept;
+  [[nodiscard]] std::size_t footprint_bytes() const noexcept override;
 
  private:
   void ensure_file_state(FileId f);

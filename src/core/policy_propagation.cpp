@@ -4,7 +4,7 @@
 
 namespace farmer {
 
-PropagationResult propagate_rule(const Farmer& model, FileId seed,
+PropagationResult propagate_rule(const CorrelationMiner& model, FileId seed,
                                  const PropagationConfig& cfg) {
   PropagationResult result;
   std::unordered_map<FileId, std::uint8_t> seen;
@@ -17,7 +17,7 @@ PropagationResult propagate_rule(const Farmer& model, FileId seed,
     result.files.push_back(f);
     result.hop.push_back(hops);
     if (hops >= cfg.max_hops) continue;
-    for (const Correlator& c : model.correlators(f)) {
+    for (const Correlator& c : model.snapshot(f)) {
       if (static_cast<double>(c.degree) < cfg.min_degree) continue;
       if (seen.count(c.file)) continue;
       seen.emplace(c.file, static_cast<std::uint8_t>(hops + 1));
@@ -28,7 +28,7 @@ PropagationResult propagate_rule(const Farmer& model, FileId seed,
 }
 
 std::vector<ReplicaGroup> build_replica_groups(
-    const Farmer& model, std::size_t file_count,
+    const CorrelationMiner& model, std::size_t file_count,
     const ReplicaGroupingConfig& cfg) {
   // Union-find over the thresholded correlation edges with a size cap, then
   // collect multi-file components.
@@ -44,7 +44,7 @@ std::vector<ReplicaGroup> build_replica_groups(
   };
 
   for (std::uint32_t f = 0; f < file_count; ++f) {
-    for (const Correlator& c : model.correlators(FileId(f))) {
+    for (const Correlator& c : model.snapshot(FileId(f))) {
       if (static_cast<double>(c.degree) < cfg.min_degree) continue;
       if (c.file.value() >= file_count) continue;
       std::uint32_t a = find(f), b = find(c.file.value());

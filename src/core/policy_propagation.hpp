@@ -21,7 +21,7 @@
 #include <unordered_map>
 #include <vector>
 
-#include "core/farmer.hpp"
+#include "api/correlation_miner.hpp"
 
 namespace farmer {
 
@@ -51,7 +51,7 @@ struct PropagationResult {
 
 /// Spreads a rule from `seed` along strong correlations (BFS over the
 /// Correlator Lists). The seed is always included.
-[[nodiscard]] PropagationResult propagate_rule(const Farmer& model,
+[[nodiscard]] PropagationResult propagate_rule(const CorrelationMiner& model,
                                                FileId seed,
                                                const PropagationConfig& cfg);
 
@@ -70,14 +70,14 @@ struct ReplicaGroupingConfig {
 /// components of the thresholded graph, capped). Singleton files are not
 /// reported — they replicate independently.
 [[nodiscard]] std::vector<ReplicaGroup> build_replica_groups(
-    const Farmer& model, std::size_t file_count,
+    const CorrelationMiner& model, std::size_t file_count,
     const ReplicaGroupingConfig& cfg);
 
 /// Registry binding rules to files with FARMER-backed propagation; models
 /// the paper's "intelligent secure storage" rule store.
 class RuleRegistry {
  public:
-  explicit RuleRegistry(const Farmer& model) : model_(model) {}
+  explicit RuleRegistry(const CorrelationMiner& model) : model_(model) {}
 
   /// Attaches `rule` to `seed` and propagates it. Returns files covered.
   const PropagationResult& attach(FileId seed, AccessRule rule,
@@ -95,7 +95,7 @@ class RuleRegistry {
     AccessRule rule;
     PropagationResult coverage;
   };
-  const Farmer& model_;
+  const CorrelationMiner& model_;
   std::vector<Entry> entries_;
 };
 

@@ -38,7 +38,7 @@ void ShardedFarmer::observe_batch(std::span<const TraceRecord> records) {
 std::vector<Correlator> ShardedFarmer::correlators(FileId f) const {
   std::vector<Correlator> merged;
   for (const auto& shard : shards_)
-    for (const Correlator& c : shard->correlators(f)) merged.push_back(c);
+    for (const Correlator& c : shard->correlator_list(f)) merged.push_back(c);
   std::sort(merged.begin(), merged.end(),
             [](const Correlator& a, const Correlator& b) {
               if (a.degree != b.degree) return a.degree > b.degree;
@@ -54,6 +54,49 @@ std::vector<Correlator> ShardedFarmer::correlators(FileId f) const {
     if (out.size() >= cfg_.correlator_capacity) break;
   }
   return out;
+}
+
+double ShardedFarmer::correlation_degree(FileId a, FileId b) const {
+  double best = 0.0;
+  for (const auto& shard : shards_)
+    best = std::max(best, shard->correlation_degree(a, b));
+  return best;
+}
+
+double ShardedFarmer::semantic_similarity(FileId a, FileId b) const {
+  double best = 0.0;
+  for (const auto& shard : shards_)
+    best = std::max(best, shard->semantic_similarity(a, b));
+  return best;
+}
+
+std::uint64_t ShardedFarmer::access_count(FileId f) const {
+  std::uint64_t total = 0;
+  for (const auto& shard : shards_) total += shard->access_count(f);
+  return total;
+}
+
+double ShardedFarmer::access_frequency(FileId pred, FileId succ) const {
+  double nab = 0.0;
+  std::uint64_t na = 0;
+  for (const auto& shard : shards_) {
+    nab += shard->graph().edge_weight(pred, succ);
+    na += shard->graph().access_count(pred);
+  }
+  return na == 0 ? 0.0 : nab / static_cast<double>(na);
+}
+
+MinerStats ShardedFarmer::stats() const {
+  MinerStats total;
+  total.shards = shards_.size();
+  for (const auto& shard : shards_) {
+    const MinerStats s = shard->stats();
+    total.requests += s.requests;
+    total.pairs_evaluated += s.pairs_evaluated;
+    total.pairs_accepted += s.pairs_accepted;
+    total.pairs_filtered += s.pairs_filtered;
+  }
+  return total;
 }
 
 std::size_t ShardedFarmer::footprint_bytes() const noexcept {

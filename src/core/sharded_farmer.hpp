@@ -17,25 +17,48 @@
 #include <span>
 #include <vector>
 
+#include "api/correlation_miner.hpp"
 #include "core/farmer.hpp"
 
 namespace farmer {
 
-class ShardedFarmer {
+class ShardedFarmer final : public CorrelationMiner {
  public:
   ShardedFarmer(FarmerConfig cfg, std::shared_ptr<const TraceDictionary> dict,
                 std::size_t shards);
 
   /// Routes one request to its shard (serial ingest path).
-  void observe(const TraceRecord& rec);
+  void observe(const TraceRecord& rec) override;
 
   /// Ingests a batch: requests are partitioned per shard preserving each
   /// stream's order, then shards run in parallel.
-  void observe_batch(std::span<const TraceRecord> records);
+  void observe_batch(std::span<const TraceRecord> records) override;
 
   /// Merged Correlator List across shards, sorted by degree, deduplicated
   /// (highest degree wins), capped at the configured capacity.
   [[nodiscard]] std::vector<Correlator> correlators(FileId f) const;
+
+  /// Owning snapshot: the merge materializes a fresh list, so the view is
+  /// immutable by construction.
+  [[nodiscard]] CorrelatorView snapshot(FileId f) const override {
+    return CorrelatorView(correlators(f));
+  }
+
+  /// Strongest per-shard evaluation — consistent with the merge rule
+  /// (the strongest shard wins a duplicated pair).
+  [[nodiscard]] double correlation_degree(FileId a, FileId b) const override;
+  [[nodiscard]] double semantic_similarity(FileId a, FileId b) const override;
+
+  /// Global N_f: accesses of `f` summed over shards.
+  [[nodiscard]] std::uint64_t access_count(FileId f) const override;
+  /// Global F(pred, succ) = sum_s N_AB,s / sum_s N_A,s.
+  [[nodiscard]] double access_frequency(FileId pred,
+                                        FileId succ) const override;
+
+  [[nodiscard]] MinerStats stats() const override;
+  [[nodiscard]] const char* name() const noexcept override {
+    return "sharded";
+  }
 
   [[nodiscard]] std::size_t shard_count() const noexcept {
     return shards_.size();
@@ -43,7 +66,7 @@ class ShardedFarmer {
   [[nodiscard]] const Farmer& shard(std::size_t i) const {
     return *shards_.at(i);
   }
-  [[nodiscard]] std::size_t footprint_bytes() const noexcept;
+  [[nodiscard]] std::size_t footprint_bytes() const noexcept override;
 
  private:
   [[nodiscard]] std::size_t shard_of(const TraceRecord& rec) const noexcept;

@@ -76,6 +76,7 @@ class AccessWindow {
   }
 
   static constexpr std::size_t kMaxWindow = 16;
+  static_assert(kMaxWindow >= 8, "paper experiments use windows up to 8");
 
  private:
   FileId ring_[kMaxWindow];

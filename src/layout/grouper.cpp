@@ -28,14 +28,15 @@ bool UnionFind::merge(std::uint32_t a, std::uint32_t b,
   return true;
 }
 
-GroupingResult build_groups(const Farmer& model, const TraceDictionary& dict,
+GroupingResult build_groups(const CorrelationMiner& model,
+                            const TraceDictionary& dict,
                             const GrouperConfig& cfg) {
   const std::size_t n = dict.files.size();
   UnionFind uf(n);
 
   for (std::uint32_t f = 0; f < n; ++f) {
     if (cfg.read_only_only && !dict.files[f].read_only) continue;
-    for (const Correlator& c : model.correlators(FileId(f))) {
+    for (const Correlator& c : model.snapshot(FileId(f))) {
       if (static_cast<double>(c.degree) < cfg.min_degree) continue;
       const std::uint32_t succ = c.file.value();
       if (succ >= n) continue;

@@ -10,7 +10,7 @@
 #include <cstdint>
 #include <vector>
 
-#include "core/farmer.hpp"
+#include "api/correlation_miner.hpp"
 #include "trace/record.hpp"
 
 namespace farmer {
@@ -49,8 +49,9 @@ struct GroupingResult {
   }
 };
 
-/// Derives groups from the model's current Correlator Lists.
-[[nodiscard]] GroupingResult build_groups(const Farmer& model,
+/// Derives groups from the miner's current Correlator Lists. Works with any
+/// CorrelationMiner backend (serial, sharded, nexus).
+[[nodiscard]] GroupingResult build_groups(const CorrelationMiner& model,
                                           const TraceDictionary& dict,
                                           const GrouperConfig& cfg);
 

@@ -5,10 +5,16 @@
 // the strongest correlated successors in degree order. The threshold is what
 // separates FPA from aggressive sequence-only prefetchers — "successors that
 // are not up to the mustard will not be prefetched".
+//
+// FPA binds to the CorrelationMiner interface, not a concrete model: any
+// factory backend (serial, sharded, nexus) drives it unchanged.
 #pragma once
 
 #include <algorithm>
+#include <memory>
+#include <utility>
 
+#include "api/correlation_miner.hpp"
 #include "core/farmer.hpp"
 #include "prefetch/predictor.hpp"
 
@@ -23,14 +29,19 @@ class FpaPredictor final : public Predictor {
   /// candidate (e.g., a per-client file matched by host/user).
   static constexpr double kMinReferenceSimilarity = 0.25;
 
-  FpaPredictor(FarmerConfig cfg, std::shared_ptr<const TraceDictionary> dict)
-      : farmer_(cfg, std::move(dict)) {}
+  /// Runs FPA on any mining backend (see api/miner_factory.hpp).
+  explicit FpaPredictor(std::unique_ptr<CorrelationMiner> miner)
+      : miner_(std::move(miner)) {}
 
-  void observe(const TraceRecord& rec) override { farmer_.observe(rec); }
+  /// Convenience: FPA over a serial FARMER model.
+  FpaPredictor(FarmerConfig cfg, std::shared_ptr<const TraceDictionary> dict)
+      : FpaPredictor(std::make_unique<Farmer>(cfg, std::move(dict))) {}
+
+  void observe(const TraceRecord& rec) override { miner_->observe(rec); }
 
   void predict(const TraceRecord& rec, std::size_t limit,
                PredictionList& out) override {
-    const auto& list = farmer_.correlators(rec.file);
+    const CorrelatorView list = miner_->snapshot(rec.file);
     if (list.empty() || limit == 0) return;
     // Re-rank the (tiny) list against the *current* request context: the
     // stored degree reflects the context at mining time, but prefetching
@@ -49,17 +60,17 @@ class FpaPredictor final : public Predictor {
       // correlation yet (Section 3.2.4's validity argument): prefetching
       // one-shot files — freshly created checkpoints, temporaries — is
       // pure pollution, so they are skipped until they recur.
-      if (farmer_.graph().access_count(c.file) < 2) continue;
+      if (miner_->access_count(c.file) < 2) continue;
       // Reference validity: the mined degree reflects the context at mining
       // time; before spending an I/O the candidate must still look related
       // — either its successor *frequency* is established, or its semantic
       // vector matches the current requester. Entries failing both are
       // stale (old jobs' files whose context has moved on).
-      const double freq = farmer_.graph().access_frequency(rec.file, c.file);
-      const double sim_now = farmer_.semantic_similarity(rec.file, c.file);
+      const double freq = miner_->access_frequency(rec.file, c.file);
+      const double sim_now = miner_->semantic_similarity(rec.file, c.file);
       if (freq < kMinReliableFrequency && sim_now < kMinReferenceSimilarity)
         continue;
-      const double now = farmer_.correlation_degree(rec.file, c.file);
+      const double now = miner_->correlation_degree(rec.file, c.file);
       // Blend mined degree with the current-reference degree so recurring
       // pairs are not discarded merely because contexts drifted.
       ranked.push_back(
@@ -78,12 +89,14 @@ class FpaPredictor final : public Predictor {
 
   [[nodiscard]] const char* name() const noexcept override { return "FPA"; }
   [[nodiscard]] std::size_t footprint_bytes() const override {
-    return farmer_.footprint_bytes();
+    return miner_->footprint_bytes();
   }
-  [[nodiscard]] const Farmer& model() const noexcept { return farmer_; }
+  [[nodiscard]] const CorrelationMiner& model() const noexcept {
+    return *miner_;
+  }
 
  private:
-  Farmer farmer_;
+  std::unique_ptr<CorrelationMiner> miner_;
 };
 
 }  // namespace farmer

@@ -1,0 +1,305 @@
+// Tests for the mining API boundary: the validated config builder, the
+// CorrelationMiner interface + CorrelatorView snapshots, and the
+// MinerFactory registry.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <stdexcept>
+
+#include "api/miner_factory.hpp"
+#include "core/farmer.hpp"
+#include "core/sharded_farmer.hpp"
+#include "test_helpers.hpp"
+
+namespace farmer {
+namespace {
+
+using testing::MicroTrace;
+
+// ------------------------------------------------------- config builder --
+
+TEST(ConfigBuilder, DefaultsAreValid) {
+  const auto r = FarmerConfig::builder().build();
+  ASSERT_TRUE(r.ok());
+  EXPECT_NEAR(r.value().p, 0.7, 1e-12);
+  EXPECT_TRUE(r.error().empty());
+}
+
+TEST(ConfigBuilder, SettersPropagate) {
+  const auto r = FarmerConfig::builder()
+                     .p(0.5)
+                     .max_strength(0.2)
+                     .window(8)
+                     .lda_delta(0.05)
+                     .max_successors(32)
+                     .correlator_capacity(16)
+                     .path_mode(PathMode::kDivided)
+                     .build();
+  ASSERT_TRUE(r.ok());
+  EXPECT_NEAR(r.value().p, 0.5, 1e-12);
+  EXPECT_NEAR(r.value().max_strength, 0.2, 1e-12);
+  EXPECT_EQ(r.value().window, 8u);
+  EXPECT_NEAR(r.value().lda_delta, 0.05, 1e-12);
+  EXPECT_EQ(r.value().max_successors, 32u);
+  EXPECT_EQ(r.value().correlator_capacity, 16u);
+  EXPECT_EQ(r.value().path_mode, PathMode::kDivided);
+}
+
+TEST(ConfigBuilder, RejectsPOutsideUnitInterval) {
+  EXPECT_FALSE(FarmerConfig::builder().p(-0.1).build().ok());
+  EXPECT_FALSE(FarmerConfig::builder().p(1.1).build().ok());
+  EXPECT_TRUE(FarmerConfig::builder().p(0.0).build().ok());
+  EXPECT_TRUE(FarmerConfig::builder().p(1.0).build().ok());
+  const auto r = FarmerConfig::builder().p(2.0).build();
+  EXPECT_NE(r.error().find("p must be in [0, 1]"), std::string::npos);
+}
+
+TEST(ConfigBuilder, RejectsZeroWindow) {
+  const auto r = FarmerConfig::builder().window(0).build();
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.error().find("window"), std::string::npos);
+}
+
+TEST(ConfigBuilder, RejectsLdaDeltaDrivingWindowNegative) {
+  // window 8 with delta 0.2: distance 8 would contribute 1 - 7*0.2 = -0.4.
+  const auto r = FarmerConfig::builder().window(8).lda_delta(0.2).build();
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.error().find("lda_delta"), std::string::npos);
+  // The paper's own configuration (window 4, delta 0.1) is fine.
+  EXPECT_TRUE(FarmerConfig::builder().window(4).lda_delta(0.1).build().ok());
+  // Exactly reaching zero at the window edge is allowed.
+  EXPECT_TRUE(FarmerConfig::builder().window(5).lda_delta(0.25).build().ok());
+  EXPECT_FALSE(FarmerConfig::builder().lda_delta(-0.1).build().ok());
+}
+
+TEST(ConfigBuilder, ValueOnFailedResultThrows) {
+  const auto r = FarmerConfig::builder().p(2.0).build();
+  ASSERT_FALSE(r.ok());
+  EXPECT_THROW((void)r.value(), std::logic_error);
+}
+
+TEST(ConfigBuilder, RejectsZeroCapacities) {
+  EXPECT_FALSE(FarmerConfig::builder().correlator_capacity(0).build().ok());
+  EXPECT_FALSE(FarmerConfig::builder().max_successors(0).build().ok());
+}
+
+TEST(ConfigBuilder, ReportsEveryViolationAtOnce) {
+  const auto r =
+      FarmerConfig::builder().p(3.0).window(0).correlator_capacity(0).build();
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.error().find("p must be"), std::string::npos);
+  EXPECT_NE(r.error().find("window"), std::string::npos);
+  EXPECT_NE(r.error().find("correlator_capacity"), std::string::npos);
+}
+
+// --------------------------------------------------------------- factory --
+
+TEST(MinerFactory, BuiltInsAreRegistered) {
+  const auto names = registered_miners();
+  for (const char* expected : {"farmer", "nexus", "sharded"})
+    EXPECT_NE(std::find(names.begin(), names.end(), expected), names.end())
+        << expected;
+}
+
+TEST(MinerFactory, ConstructsEachBuiltInWithMatchingName) {
+  MicroTrace mt;
+  (void)mt.file("a", "/p/a");
+  for (const char* backend : {"farmer", "sharded", "nexus"}) {
+    const auto miner = make_miner(backend, FarmerConfig{}, mt.dict());
+    ASSERT_NE(miner, nullptr);
+    EXPECT_STREQ(miner->name(), backend);
+  }
+}
+
+TEST(MinerFactory, UnknownBackendThrowsListingRegistered) {
+  MicroTrace mt;
+  try {
+    (void)make_miner("no-such-miner", FarmerConfig{}, mt.dict());
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("no-such-miner"), std::string::npos);
+    EXPECT_NE(msg.find("farmer"), std::string::npos);
+  }
+}
+
+TEST(MinerFactory, InvalidConfigThrows) {
+  MicroTrace mt;
+  FarmerConfig bad;
+  bad.p = 7.0;
+  EXPECT_THROW((void)make_miner("farmer", bad, mt.dict()),
+               std::invalid_argument);
+}
+
+TEST(MinerFactory, CustomBackendsPlugIn) {
+  MicroTrace mt;
+  const bool fresh = register_miner(
+      "custom-test-backend",
+      [](const FarmerConfig& cfg, std::shared_ptr<const TraceDictionary> dict,
+         const MinerOptions&) -> std::unique_ptr<CorrelationMiner> {
+        return std::make_unique<Farmer>(cfg, std::move(dict));
+      });
+  EXPECT_TRUE(fresh);
+  const auto miner = make_miner("custom-test-backend", FarmerConfig{},
+                                mt.dict());
+  ASSERT_NE(miner, nullptr);
+  // Re-registering the same name replaces, not duplicates.
+  EXPECT_FALSE(register_miner(
+      "custom-test-backend",
+      [](const FarmerConfig& cfg, std::shared_ptr<const TraceDictionary> dict,
+         const MinerOptions&) -> std::unique_ptr<CorrelationMiner> {
+        return std::make_unique<Farmer>(cfg, std::move(dict));
+      }));
+}
+
+TEST(MinerFactory, ShardOptionControlsShardCount) {
+  MicroTrace mt;
+  MinerOptions opts;
+  opts.shards = 3;
+  const auto miner = make_miner("sharded", FarmerConfig{}, mt.dict(), opts);
+  EXPECT_EQ(miner->stats().shards, 3u);
+}
+
+// ---------------------------------------------------------- polymorphism --
+
+MicroTrace fixed_trace() {
+  MicroTrace mt;
+  const FileId a = mt.file("a", "/home/u0/proj/a");
+  const FileId b = mt.file("b", "/home/u0/proj/b");
+  const FileId c = mt.file("c", "/home/u0/proj/c");
+  const FileId x = mt.file("x", "/var/other/x");
+  for (int i = 0; i < 6; ++i) {
+    mt.access(a, "u0", "pidA");
+    mt.access(b, "u0", "pidA");
+    mt.access(c, "u0", "pidA");
+    mt.access(x, "u9", "pidB", "h9");
+  }
+  return mt;
+}
+
+TEST(CorrelationMinerInterface, FarmerAndSingleShardShardedAgree) {
+  const MicroTrace mt = fixed_trace();
+  MinerOptions one_shard;
+  one_shard.shards = 1;
+  const std::unique_ptr<CorrelationMiner> serial =
+      make_miner("farmer", FarmerConfig{}, mt.dict());
+  const std::unique_ptr<CorrelationMiner> sharded =
+      make_miner("sharded", FarmerConfig{}, mt.dict(), one_shard);
+  EXPECT_STREQ(sharded->name(), "sharded");
+
+  for (const auto& r : mt.records()) {
+    serial->observe(r);
+    sharded->observe(r);
+  }
+
+  for (std::uint32_t f = 0; f < mt.dict()->files.size(); ++f) {
+    const auto ls = serial->correlators(FileId(f));
+    const auto lm = sharded->correlators(FileId(f));
+    ASSERT_EQ(ls.size(), lm.size()) << "file " << f;
+    for (std::size_t i = 0; i < ls.size(); ++i) {
+      EXPECT_EQ(ls[i].file, lm[i].file) << "file " << f << " slot " << i;
+      EXPECT_FLOAT_EQ(ls[i].degree, lm[i].degree);
+    }
+    EXPECT_NEAR(serial->correlation_degree(FileId(f), FileId(0)),
+                sharded->correlation_degree(FileId(f), FileId(0)), 1e-12);
+    EXPECT_EQ(serial->access_count(FileId(f)),
+              sharded->access_count(FileId(f)));
+  }
+  EXPECT_EQ(serial->stats().requests, sharded->stats().requests);
+  EXPECT_EQ(serial->stats().pairs_evaluated,
+            sharded->stats().pairs_evaluated);
+}
+
+TEST(CorrelationMinerInterface, BatchAndSerialIngestAgreeBehindInterface) {
+  const MicroTrace mt = fixed_trace();
+  MinerOptions opts;
+  opts.shards = 4;
+  const auto batched = make_miner("sharded", FarmerConfig{}, mt.dict(), opts);
+  const auto serial = make_miner("sharded", FarmerConfig{}, mt.dict(), opts);
+  batched->observe_batch(mt.records());
+  for (const auto& r : mt.records()) serial->observe(r);
+  for (std::uint32_t f = 0; f < mt.dict()->files.size(); ++f) {
+    const auto lb = batched->correlators(FileId(f));
+    const auto ls = serial->correlators(FileId(f));
+    ASSERT_EQ(lb.size(), ls.size());
+    for (std::size_t i = 0; i < lb.size(); ++i) {
+      EXPECT_EQ(lb[i].file, ls[i].file);
+      EXPECT_FLOAT_EQ(lb[i].degree, ls[i].degree);
+    }
+  }
+}
+
+TEST(CorrelationMinerInterface, NexusIsSequenceOnly) {
+  const MicroTrace mt = fixed_trace();
+  const auto nexus = make_miner("nexus", FarmerConfig{}, mt.dict());
+  nexus->observe_batch(mt.records());
+  const FileId a(0), b(1);
+  // No semantic component is ever reported ...
+  EXPECT_EQ(nexus->semantic_similarity(a, b), 0.0);
+  // ... and the degree equals the raw access frequency (p = 0 reduction).
+  EXPECT_NEAR(nexus->correlation_degree(a, b), nexus->access_frequency(a, b),
+              1e-12);
+  EXPECT_FALSE(nexus->snapshot(a).empty());
+}
+
+// --------------------------------------------------------------- snapshot --
+
+TEST(CorrelatorView, FarmerSnapshotBorrowsShardedSnapshotOwns) {
+  const MicroTrace mt = fixed_trace();
+  const auto serial = make_miner("farmer", FarmerConfig{}, mt.dict());
+  MinerOptions opts;
+  opts.shards = 4;
+  const auto sharded = make_miner("sharded", FarmerConfig{}, mt.dict(), opts);
+  serial->observe_batch(mt.records());
+  sharded->observe_batch(mt.records());
+
+  const CorrelatorView borrowed = serial->snapshot(FileId(0));
+  ASSERT_FALSE(borrowed.empty());
+  EXPECT_FALSE(borrowed.owns_storage());
+
+  const CorrelatorView owned = sharded->snapshot(FileId(0));
+  ASSERT_FALSE(owned.empty());
+  EXPECT_TRUE(owned.owns_storage());
+}
+
+TEST(CorrelatorView, OwningSnapshotIsImmutableUnderFurtherIngest) {
+  MicroTrace mt;
+  const FileId a = mt.file("a", "/p/a");
+  const FileId b = mt.file("b", "/p/b");
+  for (int i = 0; i < 6; ++i) {
+    mt.access(a);
+    mt.access(b);
+  }
+  const auto miner = make_miner("sharded", FarmerConfig{}, mt.dict());
+  miner->observe_batch(mt.records());
+  const CorrelatorView snap = miner->snapshot(a);
+  ASSERT_FALSE(snap.empty());
+  const FileId first = snap[0].file;
+  const float degree = snap[0].degree;
+  // Keep mining; the held snapshot must not change underneath the reader.
+  for (const auto& r : mt.records()) miner->observe(r);
+  EXPECT_EQ(snap[0].file, first);
+  EXPECT_FLOAT_EQ(snap[0].degree, degree);
+}
+
+TEST(CorrelatorView, MoveTransfersOwnedStorage) {
+  MicroTrace mt;
+  const FileId a = mt.file("a", "/p/a");
+  const FileId b = mt.file("b", "/p/b");
+  for (int i = 0; i < 4; ++i) {
+    mt.access(a);
+    mt.access(b);
+  }
+  const auto miner = make_miner("sharded", FarmerConfig{}, mt.dict());
+  miner->observe_batch(mt.records());
+  CorrelatorView snap = miner->snapshot(a);
+  ASSERT_FALSE(snap.empty());
+  const std::size_t n = snap.size();
+  const CorrelatorView moved = std::move(snap);
+  EXPECT_EQ(moved.size(), n);
+  EXPECT_TRUE(moved.owns_storage());
+}
+
+}  // namespace
+}  // namespace farmer

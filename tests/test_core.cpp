@@ -176,7 +176,7 @@ TEST(Farmer, StatsCountRequestsAndPairs) {
   for (const auto& r : mt.records()) model.observe(r);
   const auto st = model.stats();
   EXPECT_EQ(st.requests, 2u);
-  EXPECT_EQ(st.mining.pairs_evaluated, 1u);
+  EXPECT_EQ(st.pairs_evaluated, 1u);
 }
 
 TEST(Farmer, FootprintGrowsWithFiles) {

@@ -1,6 +1,7 @@
 // Tests for correlation-directed grouping and data layout.
 #include <gtest/gtest.h>
 
+#include "core/farmer.hpp"
 #include "layout/layout.hpp"
 #include "test_helpers.hpp"
 

@@ -2,6 +2,7 @@
 // correlations.
 #include <gtest/gtest.h>
 
+#include "core/farmer.hpp"
 #include "core/policy_propagation.hpp"
 #include "test_helpers.hpp"
 
