@@ -81,10 +81,37 @@ void BM_FarmerObserve(benchmark::State& state) {
 }
 BENCHMARK(BM_FarmerObserve);
 
+void BM_ConcurrentIngest(benchmark::State& state) {
+  // Multi-threaded trace-replay driver: Arg = producer threads pushing
+  // process-partitioned streams into the async "concurrent" backend.
+  // Throughput (items/s) is ingest records/s including the final flush().
+  const Trace& trace = hp();
+  const auto producers = static_cast<std::size_t>(state.range(0));
+  const auto parts = partition_by_process(trace, producers);
+  for (auto _ : state) {
+    MinerOptions opts;
+    opts.ingest_threads = producers;
+    const auto miner =
+        make_miner("concurrent", fpa_config(trace), trace.dict, opts);
+    concurrent_replay(*miner, parts);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(trace.records.size()));
+  state.counters["producers"] = static_cast<double>(producers);
+}
+BENCHMARK(BM_ConcurrentIngest)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+
 void BM_FpaPredict(benchmark::State& state) {
   const Trace& trace = hp();
   auto fpa = make_fpa(trace);
   for (const auto& r : trace.records) fpa.observe(r);
+  fpa.flush();  // ingest barrier; no-op for synchronous backends
   std::size_t i = 0;
   PredictionList out;
   for (auto _ : state) {

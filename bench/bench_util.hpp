@@ -5,11 +5,15 @@
 #pragma once
 
 #include <cerrno>
+#include <chrono>
 #include <cstdlib>
 #include <iostream>
 #include <map>
+#include <span>
 #include <string>
 #include <string_view>
+#include <thread>
+#include <vector>
 
 #include "analysis/experiment.hpp"
 #include "analysis/table.hpp"
@@ -48,29 +52,37 @@ inline FarmerConfig fpa_config(const Trace& trace) {
 }
 
 /// Mining backend behind every bench's FPA, selected at runtime:
-///   FARMER_MINER=farmer|sharded|nexus   (default "farmer")
-///   FARMER_SHARDS=<n>                   (default 4, "sharded" only)
+///   FARMER_MINER=farmer|sharded|concurrent|nexus  (default "farmer")
+///   FARMER_SHARDS=<n>           (default 4, "sharded"/"concurrent")
+///   FARMER_INGEST_THREADS=<n>   (default 4, "concurrent" producer slots)
 /// so ablations over the backend are a flag, not a recompile.
 inline const char* miner_backend() {
   const char* b = std::getenv("FARMER_MINER");
   return (b && *b) ? b : "farmer";
 }
 
+/// Parses a positive integer env var into `out`; exits on garbage so a typo
+/// never silently benchmarks the default.
+inline void env_size_into(const char* var, std::size_t& out,
+                          unsigned long max_value = 4096) {
+  const char* s = std::getenv(var);
+  if (!s || !*s) return;
+  char* end = nullptr;
+  errno = 0;
+  const unsigned long n = std::strtoul(s, &end, 10);
+  if (end == s || *end != '\0' || n == 0 || errno == ERANGE ||
+      n > max_value) {
+    std::cerr << "invalid " << var << " \"" << s
+              << "\": expected an integer in [1, " << max_value << "]\n";
+    std::exit(2);
+  }
+  out = static_cast<std::size_t>(n);
+}
+
 inline MinerOptions miner_options() {
   MinerOptions opts;
-  if (const char* s = std::getenv("FARMER_SHARDS"); s && *s) {
-    constexpr unsigned long kMaxShards = 4096;
-    char* end = nullptr;
-    errno = 0;
-    const unsigned long n = std::strtoul(s, &end, 10);
-    if (end == s || *end != '\0' || n == 0 || errno == ERANGE ||
-        n > kMaxShards) {
-      std::cerr << "invalid FARMER_SHARDS \"" << s
-                << "\": expected an integer in [1, " << kMaxShards << "]\n";
-      std::exit(2);
-    }
-    opts.shards = static_cast<std::size_t>(n);
-  }
+  env_size_into("FARMER_SHARDS", opts.shards);
+  env_size_into("FARMER_INGEST_THREADS", opts.ingest_threads);
   return opts;
 }
 
@@ -91,6 +103,9 @@ inline std::unique_ptr<CorrelationMiner> make_bench_miner(
     std::cerr << "mining backend: " << miner->name();
     if (std::string_view(miner->name()) == "sharded")
       std::cerr << " (shards=" << opts.shards << ")";
+    if (std::string_view(miner->name()) == "concurrent")
+      std::cerr << " (shards=" << opts.shards
+                << ", ingest_threads=" << opts.ingest_threads << ")";
     std::cerr << "\n";
     return true;
   }();
@@ -104,6 +119,42 @@ inline FpaPredictor make_fpa(const Trace& trace, const FarmerConfig& cfg) {
 }
 inline FpaPredictor make_fpa(const Trace& trace) {
   return make_fpa(trace, fpa_config(trace));
+}
+
+/// Partitions a trace's records across `producers` ingest streams by
+/// process id (stream affinity, mirroring ShardedFarmer's routing), keeping
+/// each process's records in trace order within its partition.
+inline std::vector<std::vector<TraceRecord>> partition_by_process(
+    const Trace& trace, std::size_t producers) {
+  std::vector<std::vector<TraceRecord>> parts(producers == 0 ? 1 : producers);
+  for (const TraceRecord& r : trace.records)
+    parts[static_cast<std::size_t>(r.process.value()) % parts.size()]
+        .push_back(r);
+  return parts;
+}
+
+/// Multi-threaded trace-replay driver: one thread per partition pushes its
+/// records into `miner` in `chunk`-sized observe_batch() calls, then the
+/// caller's thread flush()es. Returns wall-clock seconds for ingest+flush.
+inline double concurrent_replay(CorrelationMiner& miner,
+                                const std::vector<std::vector<TraceRecord>>&
+                                    parts,
+                                std::size_t chunk = 256) {
+  const auto start = std::chrono::steady_clock::now();
+  std::vector<std::thread> producers;
+  producers.reserve(parts.size());
+  for (const auto& part : parts) {
+    producers.emplace_back([&miner, &part, chunk] {
+      for (std::size_t i = 0; i < part.size(); i += chunk) {
+        const std::size_t n = std::min(chunk, part.size() - i);
+        miner.observe_batch(std::span<const TraceRecord>(&part[i], n));
+      }
+    });
+  }
+  for (auto& t : producers) t.join();
+  miner.flush();
+  const auto end = std::chrono::steady_clock::now();
+  return std::chrono::duration<double>(end - start).count();
 }
 
 inline ReplayConfig replay_config(const Trace& trace) {

@@ -36,7 +36,8 @@ int main(int argc, char** argv) {
   }
 
   // 3. The model, chosen at runtime: "farmer" (serial), "sharded"
-  //    (parallel ingest), or "nexus" (the p = 0 sequence-only baseline).
+  //    (parallel ingest), "concurrent" (async lock-free ingest), or
+  //    "nexus" (the p = 0 sequence-only baseline).
   std::unique_ptr<CorrelationMiner> model;
   try {
     model = make_miner(backend, cfg.value(), trace.dict);
@@ -46,8 +47,11 @@ int main(int argc, char** argv) {
   }
 
   // 4. Ingest: each request runs the four-stage pipeline (extract,
-  //    construct, mine & evaluate, sort).
+  //    construct, mine & evaluate, sort). flush() is the ingest barrier —
+  //    a no-op on synchronous backends, a drain on "concurrent" — so
+  //    bulk-load-then-query code is backend-agnostic.
   model->observe_batch(trace.records);
+  model->flush();
 
   const MinerStats stats = model->stats();
   std::cout << "backend: " << model->name() << ", requests: "

@@ -6,8 +6,8 @@
 // lists plus a handful of evaluation queries. `CorrelationMiner` is that
 // boundary, mirroring the `Predictor` polymorphism in prefetch/predictor.hpp:
 // consumers bind to the interface and any backend (serial FARMER, sharded
-// FARMER, the Nexus p = 0 baseline, future remote/async miners) plugs in
-// behind it without recompiling a single consumer.
+// FARMER, the async "concurrent" miner, the Nexus p = 0 baseline, future
+// remote miners) plugs in behind it without recompiling a single consumer.
 //
 // Queries go through `snapshot()`, which returns an immutable
 // `CorrelatorView`: backends whose lists are stable between `observe()`
@@ -33,6 +33,10 @@ struct MinerStats {
   std::uint64_t pairs_accepted = 0;   ///< R >= max_strength
   std::uint64_t pairs_filtered = 0;   ///< R <  max_strength
   std::size_t shards = 1;             ///< parallel mining partitions
+  std::uint64_t epoch = 0;   ///< published apply rounds (async backends; 0 =
+                             ///< synchronous, state is always current)
+  std::uint64_t pending = 0; ///< records accepted but not yet applied (async
+                             ///< backends; always 0 after flush())
 
   [[nodiscard]] double acceptance_rate() const noexcept {
     return pairs_evaluated
@@ -129,6 +133,14 @@ class CorrelationMiner {
   virtual void observe_batch(std::span<const TraceRecord> records) {
     for (const TraceRecord& r : records) observe(r);
   }
+
+  /// Barrier: returns once every record accepted by observe()/observe_batch()
+  /// before this call is reflected in queries. Synchronous backends apply
+  /// records inside observe() and need do nothing; asynchronous backends
+  /// (the "concurrent" miner) drain their ingest queues. Calling flush()
+  /// while other threads keep producing is allowed but only guarantees the
+  /// records accepted before the call.
+  virtual void flush() {}
 
   /// Immutable snapshot of `f`'s Correlator List, sorted by descending
   /// degree. Every entry passed the backend's validity threshold.

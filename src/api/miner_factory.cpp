@@ -4,6 +4,7 @@
 #include <stdexcept>
 #include <utility>
 
+#include "core/concurrent_farmer.hpp"
 #include "core/farmer.hpp"
 #include "core/sharded_farmer.hpp"
 
@@ -53,6 +54,16 @@ Registry& registry() {
                            std::shared_ptr<const TraceDictionary> dict,
                            const MinerOptions&) {
       return std::make_unique<NexusMiner>(cfg, std::move(dict));
+    };
+    built_in["concurrent"] = [](const FarmerConfig& cfg,
+                                std::shared_ptr<const TraceDictionary> dict,
+                                const MinerOptions& opts) {
+      // max_pending == 0 means "backend default"; the constructor resolves
+      // it so direct and factory construction cannot diverge.
+      return std::make_unique<ConcurrentFarmer>(cfg, std::move(dict),
+                                                opts.shards,
+                                                opts.ingest_threads,
+                                                opts.max_pending);
     };
     return built_in;
   }();

@@ -1,10 +1,10 @@
 // Runtime-selectable mining backends.
 //
-// `make_miner("farmer" | "sharded" | "nexus", cfg, dict, opts)` turns the
-// backend choice into data: benches flip ablations (Table 2/3, Fig. 3/6)
-// with a string flag instead of a recompiled type, and later scaling PRs
-// (async ingest, remote shards) register themselves via `register_miner`
-// without touching any consumer.
+// `make_miner("farmer" | "sharded" | "concurrent" | "nexus", cfg, dict,
+// opts)` turns the backend choice into data: benches flip ablations
+// (Table 2/3, Fig. 3/6) with a string flag instead of a recompiled type,
+// and later scaling PRs (remote shards, multi-backend serving) register
+// themselves via `register_miner` without touching any consumer.
 //
 // The configuration is validated (FarmerConfig::validate) before any
 // backend is constructed; a bad config or an unknown backend name throws
@@ -25,7 +25,14 @@ namespace farmer {
 
 /// Backend knobs that are not model parameters.
 struct MinerOptions {
-  std::size_t shards = 4;  ///< partitions for the "sharded" backend
+  std::size_t shards = 4;  ///< partitions for "sharded" and "concurrent"
+  /// Producer queue slots for the "concurrent" backend: the number of
+  /// ingest threads expected to call observe() concurrently (threads hash
+  /// onto slots, so more threads than slots merely share queues).
+  std::size_t ingest_threads = 4;
+  /// Backpressure bound for the "concurrent" backend: producers soft-block
+  /// once this many records are queued but unapplied. 0 = backend default.
+  std::size_t max_pending = 0;
 };
 
 using MinerFactoryFn = std::function<std::unique_ptr<CorrelationMiner>(
@@ -33,7 +40,8 @@ using MinerFactoryFn = std::function<std::unique_ptr<CorrelationMiner>(
     const MinerOptions& opts)>;
 
 /// Adds (or replaces) a backend under `name`. Returns true when `name` was
-/// new. Built-ins "farmer", "sharded" and "nexus" are pre-registered.
+/// new. Built-ins "farmer", "sharded", "concurrent" and "nexus" are
+/// pre-registered.
 bool register_miner(const std::string& name, MinerFactoryFn factory);
 
 /// Registered backend names, sorted.

@@ -1,0 +1,79 @@
+// Lock-free multi-producer single-consumer queue (Vyukov's non-intrusive
+// MPSC algorithm).
+//
+// The async ingest backend gives every producer slot one of these: any
+// number of threads may `push()` concurrently and wait-free (one atomic
+// exchange each), while exactly one drain thread `pop()`s. Per-queue FIFO
+// order is the linearization order of the exchanges, so a single producer's
+// records are always applied in program order.
+//
+// The consumer-side caveat of the algorithm is preserved deliberately: a
+// producer that has exchanged `head_` but not yet published `next` makes the
+// element momentarily invisible to `pop()`. Callers that need an "everything
+// pushed so far is drained" barrier must count elements externally (the
+// concurrent miner's `pending` counter does exactly that) instead of polling
+// `empty()`.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <utility>
+
+namespace farmer {
+
+template <typename T>
+class MpscQueue {
+ public:
+  MpscQueue() : head_(new Node()), tail_(head_.load(std::memory_order_relaxed)) {}
+
+  ~MpscQueue() {
+    Node* n = tail_;
+    while (n != nullptr) {
+      Node* next = n->next.load(std::memory_order_relaxed);
+      delete n;
+      n = next;
+    }
+  }
+
+  MpscQueue(const MpscQueue&) = delete;
+  MpscQueue& operator=(const MpscQueue&) = delete;
+
+  /// Enqueues `value`. Safe to call from any number of threads concurrently;
+  /// never blocks and never takes a lock.
+  void push(T value) {
+    Node* n = new Node(std::move(value));
+    Node* prev = head_.exchange(n, std::memory_order_acq_rel);
+    prev->next.store(n, std::memory_order_release);
+  }
+
+  /// Dequeues into `out`. Single consumer only. Returns false when the queue
+  /// is (observably) empty.
+  bool pop(T& out) {
+    Node* tail = tail_;
+    Node* next = tail->next.load(std::memory_order_acquire);
+    if (next == nullptr) return false;
+    out = std::move(next->value);
+    tail_ = next;
+    delete tail;
+    return true;
+  }
+
+  /// Consumer-side emptiness check; may transiently report empty while a
+  /// push is mid-flight (see the header comment).
+  [[nodiscard]] bool empty() const noexcept {
+    return tail_->next.load(std::memory_order_acquire) == nullptr;
+  }
+
+ private:
+  struct Node {
+    Node() = default;
+    explicit Node(T v) : value(std::move(v)) {}
+    std::atomic<Node*> next{nullptr};
+    T value{};
+  };
+
+  alignas(64) std::atomic<Node*> head_;  // push end (producers)
+  alignas(64) Node* tail_;               // pop end (consumer-owned stub)
+};
+
+}  // namespace farmer

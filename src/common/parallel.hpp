@@ -29,6 +29,10 @@ namespace farmer {
 /// our bodies write into pre-sized slots and do not throw.
 template <typename Body>
 void parallel_for(std::size_t n, Body&& body) {
+  // Early out: with n == 0 the std::thread fallback would compute
+  // workers == 0 and fall into the serial branch only by accident of the
+  // `workers <= 1` comparison; make the no-op case explicit for both paths.
+  if (n == 0) return;
 #if defined(FARMER_HAVE_OPENMP)
 #pragma omp parallel for schedule(dynamic, 1)
   for (std::int64_t i = 0; i < static_cast<std::int64_t>(n); ++i)

@@ -1,0 +1,191 @@
+#include "core/concurrent_farmer.hpp"
+
+#include <chrono>
+#include <functional>
+#include <iterator>
+
+namespace farmer {
+
+ConcurrentFarmer::ConcurrentFarmer(FarmerConfig cfg,
+                                   std::shared_ptr<const TraceDictionary> dict,
+                                   std::size_t shards,
+                                   std::size_t ingest_queues,
+                                   std::size_t max_pending)
+    : inner_(std::make_unique<ShardedFarmer>(cfg, std::move(dict), shards)),
+      max_pending_(max_pending == 0 ? kDefaultMaxPending : max_pending) {
+  const std::size_t slots = ingest_queues == 0 ? 1 : ingest_queues;
+  queues_.reserve(slots);
+  for (std::size_t i = 0; i < slots; ++i)
+    queues_.push_back(std::make_unique<MpscQueue<Batch>>());
+  drain_thread_ = std::thread([this] { drain_loop(); });
+}
+
+ConcurrentFarmer::~ConcurrentFarmer() {
+  stop_.store(true, std::memory_order_release);
+  {
+    std::lock_guard<std::mutex> lk(wake_mu_);
+    wake_cv_.notify_all();
+  }
+  if (drain_thread_.joinable()) drain_thread_.join();
+}
+
+std::size_t ConcurrentFarmer::slot_of_this_thread() const noexcept {
+  return std::hash<std::thread::id>{}(std::this_thread::get_id()) %
+         queues_.size();
+}
+
+void ConcurrentFarmer::enqueue(Batch batch) {
+  const std::size_t n = batch.size();
+  if (n == 0) return;
+  // Soft backpressure: a stalled drain must not let queued records balloon.
+  // Yield-spin rather than lock so the fast path stays lock-free. A batch
+  // larger than max_pending_ is admitted once the drain has fully caught up
+  // (pending_ == 0) — blocking it outright could never unblock — so the
+  // bound is max(max_pending_, largest single batch).
+  while (true) {
+    const std::size_t pending = pending_.load(std::memory_order_acquire);
+    if (pending == 0 || pending + n <= max_pending_ ||
+        stop_.load(std::memory_order_acquire))
+      break;
+    std::this_thread::yield();
+  }
+  // pending_ grows before the push: pending_ == 0 therefore proves every
+  // accepted record has been applied, even inside the MPSC visibility window.
+  pending_.fetch_add(n, std::memory_order_release);
+  enqueued_total_.fetch_add(n, std::memory_order_release);
+  queues_[slot_of_this_thread()]->push(std::move(batch));
+  if (drain_idle_.load(std::memory_order_acquire)) {
+    std::lock_guard<std::mutex> lk(wake_mu_);
+    wake_cv_.notify_one();
+  }
+}
+
+void ConcurrentFarmer::observe(const TraceRecord& rec) {
+  enqueue(Batch{rec});
+}
+
+void ConcurrentFarmer::observe_batch(std::span<const TraceRecord> records) {
+  enqueue(Batch(records.begin(), records.end()));
+}
+
+void ConcurrentFarmer::flush() {
+  const std::uint64_t target = enqueued_total_.load(std::memory_order_acquire);
+  std::unique_lock<std::mutex> lk(wake_mu_);
+  wake_cv_.notify_one();
+  drained_cv_.wait(lk, [&] {
+    return applied_total_.load(std::memory_order_acquire) >= target;
+  });
+}
+
+std::size_t ConcurrentFarmer::collect(Batch& into) {
+  std::size_t total = 0;
+  Batch batch;
+  for (auto& q : queues_) {
+    while (q->pop(batch)) {
+      total += batch.size();
+      into.insert(into.end(), std::make_move_iterator(batch.begin()),
+                  std::make_move_iterator(batch.end()));
+    }
+  }
+  return total;
+}
+
+void ConcurrentFarmer::apply(const Batch& batch) {
+  {
+    std::unique_lock<std::shared_mutex> lk(state_mu_);
+    inner_->observe_batch(batch);
+    epoch_.fetch_add(1, std::memory_order_release);
+    // Counter updates stay inside the lock so stats() never observes a
+    // batch counted in both the inner requests and pending.
+    pending_.fetch_sub(batch.size(), std::memory_order_release);
+    applied_total_.fetch_add(batch.size(), std::memory_order_release);
+  }
+  {
+    std::lock_guard<std::mutex> lk(wake_mu_);
+    drained_cv_.notify_all();
+  }
+}
+
+void ConcurrentFarmer::drain_loop() {
+  using namespace std::chrono_literals;
+  Batch buf;
+  for (;;) {
+    buf.clear();
+    if (collect(buf) > 0) {
+      apply(buf);
+      continue;
+    }
+    if (stop_.load(std::memory_order_acquire)) break;
+    if (pending_.load(std::memory_order_acquire) > 0) {
+      // A push is mid-flight in the MPSC visibility window; retry shortly.
+      std::this_thread::yield();
+      continue;
+    }
+    std::unique_lock<std::mutex> lk(wake_mu_);
+    drain_idle_.store(true, std::memory_order_release);
+    // Timed wait: the idle-flag handshake has a benign race (a producer can
+    // read drain_idle_ == false just before we set it); the predicate plus
+    // the timeout make a lost notify cost at most one period, never a hang.
+    wake_cv_.wait_for(lk, 1ms, [&] {
+      return stop_.load(std::memory_order_acquire) ||
+             pending_.load(std::memory_order_acquire) > 0;
+    });
+    drain_idle_.store(false, std::memory_order_release);
+  }
+  // Apply whatever is still queued so destruction never drops records.
+  for (;;) {
+    buf.clear();
+    if (collect(buf) == 0) break;
+    apply(buf);
+  }
+}
+
+CorrelatorView ConcurrentFarmer::snapshot(FileId f) const {
+  std::shared_lock<std::shared_mutex> lk(state_mu_);
+  return CorrelatorView(inner_->correlators(f));
+}
+
+EpochSnapshot ConcurrentFarmer::epoch_snapshot(FileId f) const {
+  std::shared_lock<std::shared_mutex> lk(state_mu_);
+  EpochSnapshot snap;
+  snap.view = CorrelatorView(inner_->correlators(f));
+  snap.epoch = epoch_.load(std::memory_order_acquire);
+  return snap;
+}
+
+double ConcurrentFarmer::correlation_degree(FileId a, FileId b) const {
+  std::shared_lock<std::shared_mutex> lk(state_mu_);
+  return inner_->correlation_degree(a, b);
+}
+
+double ConcurrentFarmer::semantic_similarity(FileId a, FileId b) const {
+  std::shared_lock<std::shared_mutex> lk(state_mu_);
+  return inner_->semantic_similarity(a, b);
+}
+
+std::uint64_t ConcurrentFarmer::access_count(FileId f) const {
+  std::shared_lock<std::shared_mutex> lk(state_mu_);
+  return inner_->access_count(f);
+}
+
+double ConcurrentFarmer::access_frequency(FileId pred, FileId succ) const {
+  std::shared_lock<std::shared_mutex> lk(state_mu_);
+  return inner_->access_frequency(pred, succ);
+}
+
+MinerStats ConcurrentFarmer::stats() const {
+  std::shared_lock<std::shared_mutex> lk(state_mu_);
+  MinerStats s = inner_->stats();
+  s.epoch = epoch_.load(std::memory_order_acquire);
+  s.pending = pending_.load(std::memory_order_acquire);
+  return s;
+}
+
+std::size_t ConcurrentFarmer::footprint_bytes() const noexcept {
+  std::shared_lock<std::shared_mutex> lk(state_mu_);
+  return sizeof(*this) + inner_->footprint_bytes() +
+         queues_.size() * sizeof(MpscQueue<Batch>) +
+         pending_.load(std::memory_order_acquire) * sizeof(TraceRecord);
+}
+
+}  // namespace farmer

@@ -1,0 +1,153 @@
+// Asynchronous ingest: the "concurrent" mining backend.
+//
+// A peta-scale metadata cluster cannot stop the request stream to mine it.
+// `ConcurrentFarmer` decouples the two halves of that problem:
+//
+//   producers ──push──▶ per-slot MpscQueues ──drain thread──▶ ShardedFarmer
+//                                                 │
+//   readers ◀─── epoch-numbered owning snapshots ─┘
+//
+// * Ingest is lock-free for callers: `observe()`/`observe_batch()` route to
+//   one of `ingest_queues` MPSC queues (slot = hash of the calling thread)
+//   with a single atomic exchange, so N producer threads never contend on a
+//   mutex and never wait for queries. Per-thread FIFO order is preserved;
+//   cross-thread interleaving is whatever the drain observes — the standard
+//   relaxed guarantee of a concurrent ingest path.
+// * A dedicated drain thread pops whole batches, concatenates them and
+//   applies them to an inner `ShardedFarmer` under the write side of a
+//   shared_mutex, bumping the published epoch after every apply round.
+// * Queries take the read side, materialize an *owning* CorrelatorView and
+//   stamp it with the epoch it was cut from: readers never observe a list
+//   mid-update (no torn degrees) and successive reads see monotonically
+//   non-decreasing epochs.
+//
+// `flush()` is the barrier between the two worlds: it returns once every
+// record accepted before the call has been applied, which is what makes the
+// backend differentially testable — a single-threaded replay followed by
+// flush() is byte-identical to the synchronous "sharded" backend, because
+// each queue preserves FIFO order and shard state only depends on the
+// per-shard record order.
+//
+// Memory is bounded by `max_pending`: producers soft-block (yield-spin) once
+// that many records are queued but unapplied, so a stalled drain cannot
+// balloon the process. A single batch larger than the bound is admitted
+// once the drain has caught up (refusing it could never unblock), so the
+// effective bound is max(max_pending, largest single batch).
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <shared_mutex>
+#include <span>
+#include <thread>
+#include <vector>
+
+#include "api/correlation_miner.hpp"
+#include "common/mpsc_queue.hpp"
+#include "core/sharded_farmer.hpp"
+
+namespace farmer {
+
+/// A query result plus the epoch of the published state it was cut from.
+struct EpochSnapshot {
+  CorrelatorView view;
+  std::uint64_t epoch = 0;
+};
+
+class ConcurrentFarmer final : public CorrelationMiner {
+ public:
+  /// Producers blocked beyond this many queued-but-unapplied records.
+  static constexpr std::size_t kDefaultMaxPending = std::size_t{1} << 20;
+
+  ConcurrentFarmer(FarmerConfig cfg,
+                   std::shared_ptr<const TraceDictionary> dict,
+                   std::size_t shards, std::size_t ingest_queues,
+                   std::size_t max_pending = kDefaultMaxPending);
+  ~ConcurrentFarmer() override;
+
+  ConcurrentFarmer(const ConcurrentFarmer&) = delete;
+  ConcurrentFarmer& operator=(const ConcurrentFarmer&) = delete;
+
+  /// Lock-free enqueue of one record (one MPSC push); applied
+  /// asynchronously. Pays a one-element batch + queue-node allocation per
+  /// record — throughput-sensitive producers should use observe_batch();
+  /// coalescing in a thread-local buffer here would break the flush()
+  /// contract (records parked in another thread's buffer would be accepted
+  /// yet invisible to the barrier).
+  void observe(const TraceRecord& rec) override;
+
+  /// Lock-free enqueue of a batch copy; the batch is applied as one unit so
+  /// its internal order survives into the shards.
+  void observe_batch(std::span<const TraceRecord> records) override;
+
+  /// Blocks until everything accepted before the call has been applied.
+  void flush() override;
+
+  /// Owning snapshot of `f`'s merged Correlator List at the current epoch.
+  [[nodiscard]] CorrelatorView snapshot(FileId f) const override;
+
+  /// snapshot() plus the epoch stamp, for readers that track progression.
+  [[nodiscard]] EpochSnapshot epoch_snapshot(FileId f) const;
+
+  [[nodiscard]] double correlation_degree(FileId a, FileId b) const override;
+  [[nodiscard]] double semantic_similarity(FileId a, FileId b) const override;
+  [[nodiscard]] std::uint64_t access_count(FileId f) const override;
+  [[nodiscard]] double access_frequency(FileId pred,
+                                        FileId succ) const override;
+
+  /// Inner sharded stats plus `epoch` and `pending`. `requests` counts
+  /// *applied* records; enqueued-but-unapplied records are `pending`.
+  [[nodiscard]] MinerStats stats() const override;
+  [[nodiscard]] std::size_t footprint_bytes() const noexcept override;
+  [[nodiscard]] const char* name() const noexcept override {
+    return "concurrent";
+  }
+
+  /// Number of apply rounds published so far (monotone).
+  [[nodiscard]] std::uint64_t epoch() const noexcept {
+    return epoch_.load(std::memory_order_acquire);
+  }
+  [[nodiscard]] std::size_t ingest_queue_count() const noexcept {
+    return queues_.size();
+  }
+
+ private:
+  using Batch = std::vector<TraceRecord>;
+
+  [[nodiscard]] std::size_t slot_of_this_thread() const noexcept;
+  void enqueue(Batch batch);
+  void drain_loop();
+  /// Pops every visible batch from every queue into one apply buffer,
+  /// preserving per-queue order. Returns the number of records collected.
+  std::size_t collect(Batch& into);
+  void apply(const Batch& batch);
+
+  std::unique_ptr<ShardedFarmer> inner_;
+  std::vector<std::unique_ptr<MpscQueue<Batch>>> queues_;
+  const std::size_t max_pending_;
+
+  /// Records enqueued but not yet applied. Incremented before the queue push
+  /// so `pending_ == 0` proves the drain has caught up with every accepted
+  /// record (the MPSC visibility window cannot under-count).
+  std::atomic<std::size_t> pending_{0};
+  std::atomic<std::uint64_t> enqueued_total_{0};
+  std::atomic<std::uint64_t> applied_total_{0};
+  std::atomic<std::uint64_t> epoch_{0};
+  std::atomic<bool> stop_{false};
+  std::atomic<bool> drain_idle_{false};
+
+  /// Write side: drain thread while applying. Read side: every query.
+  mutable std::shared_mutex state_mu_;
+
+  /// Wakes the drain thread (producers) and flush() waiters (drain thread).
+  std::mutex wake_mu_;
+  std::condition_variable wake_cv_;
+  std::condition_variable drained_cv_;
+
+  std::thread drain_thread_;
+};
+
+}  // namespace farmer

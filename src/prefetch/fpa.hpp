@@ -39,6 +39,10 @@ class FpaPredictor final : public Predictor {
 
   void observe(const TraceRecord& rec) override { miner_->observe(rec); }
 
+  /// Ingest barrier of the underlying miner (no-op for synchronous
+  /// backends): bulk-load-then-predict callers flush before querying.
+  void flush() override { miner_->flush(); }
+
   void predict(const TraceRecord& rec, std::size_t limit,
                PredictionList& out) override {
     const CorrelatorView list = miner_->snapshot(rec.file);

@@ -32,6 +32,14 @@ class Predictor {
   virtual void predict(const TraceRecord& rec, std::size_t limit,
                        PredictionList& out) = 0;
 
+  /// Ingest barrier: returns once everything observe()d so far can inform
+  /// predict(). Only predictors over asynchronous miners (FPA on the
+  /// "concurrent" backend) do real work here; live replay deliberately does
+  /// NOT call it per record — an async miner predicting from slightly stale
+  /// epochs is the modelled behavior. Bulk-load-then-predict callers flush
+  /// once after ingest.
+  virtual void flush() {}
+
   [[nodiscard]] virtual const char* name() const noexcept = 0;
 
   /// Memory the predictor holds (Table 4-style accounting). Optional.

@@ -5,11 +5,15 @@
 
 #include <algorithm>
 #include <memory>
+#include <span>
 #include <stdexcept>
+#include <thread>
+#include <vector>
 
 #include "api/miner_factory.hpp"
 #include "core/farmer.hpp"
 #include "core/sharded_farmer.hpp"
+#include "trace/generator.hpp"
 #include "test_helpers.hpp"
 
 namespace farmer {
@@ -97,7 +101,7 @@ TEST(ConfigBuilder, ReportsEveryViolationAtOnce) {
 
 TEST(MinerFactory, BuiltInsAreRegistered) {
   const auto names = registered_miners();
-  for (const char* expected : {"farmer", "nexus", "sharded"})
+  for (const char* expected : {"concurrent", "farmer", "nexus", "sharded"})
     EXPECT_NE(std::find(names.begin(), names.end(), expected), names.end())
         << expected;
 }
@@ -105,7 +109,7 @@ TEST(MinerFactory, BuiltInsAreRegistered) {
 TEST(MinerFactory, ConstructsEachBuiltInWithMatchingName) {
   MicroTrace mt;
   (void)mt.file("a", "/p/a");
-  for (const char* backend : {"farmer", "sharded", "nexus"}) {
+  for (const char* backend : {"farmer", "sharded", "concurrent", "nexus"}) {
     const auto miner = make_miner(backend, FarmerConfig{}, mt.dict());
     ASSERT_NE(miner, nullptr);
     EXPECT_STREQ(miner->name(), backend);
@@ -228,6 +232,128 @@ TEST(CorrelationMinerInterface, BatchAndSerialIngestAgreeBehindInterface) {
       EXPECT_FLOAT_EQ(lb[i].degree, ls[i].degree);
     }
   }
+}
+
+// Differential tier: the async "concurrent" backend, once flush()ed, must
+// be indistinguishable from the synchronous "sharded" backend on the same
+// stream — byte-identical Correlator Lists and identical mining counters.
+// Single-producer replay keeps the applied order equal to trace order, so
+// the equality is exact, not statistical.
+TEST(CorrelationMinerInterface, ConcurrentAfterFlushMatchesSharded) {
+  const MicroTrace mt = fixed_trace();
+  MinerOptions opts;
+  opts.shards = 4;
+  const auto sharded = make_miner("sharded", FarmerConfig{}, mt.dict(), opts);
+  const auto concurrent =
+      make_miner("concurrent", FarmerConfig{}, mt.dict(), opts);
+  EXPECT_STREQ(concurrent->name(), "concurrent");
+
+  for (const auto& r : mt.records()) {
+    sharded->observe(r);
+    concurrent->observe(r);
+  }
+  concurrent->flush();
+
+  for (std::uint32_t f = 0; f < mt.dict()->files.size(); ++f) {
+    const auto ls = sharded->correlators(FileId(f));
+    const auto lc = concurrent->correlators(FileId(f));
+    ASSERT_EQ(ls.size(), lc.size()) << "file " << f;
+    for (std::size_t i = 0; i < ls.size(); ++i) {
+      EXPECT_EQ(ls[i].file, lc[i].file) << "file " << f << " slot " << i;
+      // Bitwise-equal degrees: identical arithmetic on identical order.
+      EXPECT_EQ(ls[i].degree, lc[i].degree) << "file " << f << " slot " << i;
+    }
+    EXPECT_EQ(sharded->access_count(FileId(f)),
+              concurrent->access_count(FileId(f)));
+    EXPECT_EQ(sharded->correlation_degree(FileId(f), FileId(0)),
+              concurrent->correlation_degree(FileId(f), FileId(0)));
+  }
+  const MinerStats ss = sharded->stats();
+  const MinerStats sc = concurrent->stats();
+  EXPECT_EQ(ss.requests, sc.requests);
+  EXPECT_EQ(ss.pairs_evaluated, sc.pairs_evaluated);
+  EXPECT_EQ(ss.pairs_accepted, sc.pairs_accepted);
+  EXPECT_EQ(ss.pairs_filtered, sc.pairs_filtered);
+  EXPECT_EQ(sc.pending, 0u);
+  EXPECT_GE(sc.epoch, 1u);
+}
+
+// The same differential on a generated trace: thousands of records exercise
+// batch splits inside the drain (multiple apply epochs) rather than the
+// single-epoch fast path of a micro trace.
+TEST(CorrelationMinerInterface, ConcurrentDifferentialOnGeneratedTrace) {
+  const Trace t = make_paper_trace(TraceKind::kHP, 17, 0.02);
+  MinerOptions opts;
+  opts.shards = 4;
+  const FarmerConfig cfg;
+  const auto sharded = make_miner("sharded", cfg, t.dict, opts);
+  const auto concurrent = make_miner("concurrent", cfg, t.dict, opts);
+
+  // Push in small batches from one thread: applied order == trace order.
+  constexpr std::size_t kChunk = 128;
+  for (std::size_t i = 0; i < t.records.size(); i += kChunk) {
+    const std::size_t n = std::min(kChunk, t.records.size() - i);
+    concurrent->observe_batch(
+        std::span<const TraceRecord>(&t.records[i], n));
+  }
+  sharded->observe_batch(t.records);
+  concurrent->flush();
+
+  for (std::uint32_t f = 0; f < t.file_count(); ++f) {
+    const auto ls = sharded->correlators(FileId(f));
+    const auto lc = concurrent->correlators(FileId(f));
+    ASSERT_EQ(ls.size(), lc.size()) << "file " << f;
+    for (std::size_t i = 0; i < ls.size(); ++i) {
+      EXPECT_EQ(ls[i].file, lc[i].file) << "file " << f << " slot " << i;
+      EXPECT_EQ(ls[i].degree, lc[i].degree) << "file " << f << " slot " << i;
+    }
+  }
+  EXPECT_EQ(sharded->stats().pairs_evaluated,
+            concurrent->stats().pairs_evaluated);
+}
+
+// Multi-producer ingest: cross-thread interleaving is relaxed, so exact
+// list equality is not promised — but flush() must still account for every
+// record, and order-insensitive aggregates must match the sync backend.
+TEST(CorrelationMinerInterface, ConcurrentMultiProducerFlushLosesNothing) {
+  const Trace t = make_paper_trace(TraceKind::kHP, 23, 0.02);
+  MinerOptions opts;
+  opts.shards = 4;
+  opts.ingest_threads = 4;
+  const auto sharded = make_miner("sharded", FarmerConfig{}, t.dict, opts);
+  const auto concurrent =
+      make_miner("concurrent", FarmerConfig{}, t.dict, opts);
+  sharded->observe_batch(t.records);
+
+  // Partition by process (stream affinity), one producer thread each.
+  const auto parts = testing::partition_by_process(t.records, 4);
+  testing::replay_partitioned(*concurrent, parts, /*chunk=*/64);
+  concurrent->flush();
+
+  const MinerStats sc = concurrent->stats();
+  EXPECT_EQ(sc.requests, t.records.size());
+  EXPECT_EQ(sc.pending, 0u);
+  // N_f is order-independent: must match the sync backend exactly.
+  for (std::uint32_t f = 0; f < t.file_count(); ++f)
+    EXPECT_EQ(sharded->access_count(FileId(f)),
+              concurrent->access_count(FileId(f)))
+        << "file " << f;
+}
+
+// Regression: a single batch larger than the backpressure bound must be
+// admitted once the drain catches up — refusing it would live-lock the
+// producer forever (pending_ can never shrink below an un-admitted batch).
+TEST(CorrelationMinerInterface, ConcurrentAdmitsBatchLargerThanMaxPending) {
+  const Trace t = make_paper_trace(TraceKind::kHP, 29, 0.01);
+  ASSERT_GT(t.records.size(), 64u);
+  MinerOptions opts;
+  opts.ingest_threads = 1;
+  opts.max_pending = 64;  // far smaller than the one batch below
+  const auto miner = make_miner("concurrent", FarmerConfig{}, t.dict, opts);
+  miner->observe_batch(t.records);
+  miner->flush();
+  EXPECT_EQ(miner->stats().requests, t.records.size());
+  EXPECT_EQ(miner->stats().pending, 0u);
 }
 
 TEST(CorrelationMinerInterface, NexusIsSequenceOnly) {

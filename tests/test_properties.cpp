@@ -2,13 +2,19 @@
 // configuration space, swept with parameterized gtest.
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <span>
+#include <thread>
 #include <tuple>
+#include <vector>
 
 #include "analysis/experiment.hpp"
 #include "common/rng.hpp"
+#include "core/concurrent_farmer.hpp"
 #include "prefetch/fpa.hpp"
 #include "prefetch/nexus.hpp"
 #include "prefetch/replay.hpp"
+#include "test_helpers.hpp"
 #include "trace/generator.hpp"
 #include "vsm/similarity.hpp"
 
@@ -227,6 +233,102 @@ INSTANTIATE_TEST_SUITE_P(AllTraces, GeneratorSweep,
                          [](const auto& info) {
                            return std::string(trace_kind_name(info.param));
                          });
+
+// ------------------------------------- concurrent ingest stress/property --
+
+// Readers hammer epoch snapshots while producers ingest: every snapshot
+// must be internally consistent — sorted by descending degree, above the
+// validity threshold, self-free, capacity-capped (a torn degree or a
+// mid-merge read would violate one of these with high probability) — and
+// the epoch stamps each reader observes must be monotone non-decreasing.
+// This is the test the ThreadSanitizer CI job runs race detection on.
+TEST(ConcurrentMinerStress, SnapshotsConsistentWhileProducersIngest) {
+  const Trace& t = small_hp();
+  const FarmerConfig cfg;
+  constexpr std::size_t kProducers = 4;
+  ConcurrentFarmer miner(cfg, t.dict, /*shards=*/4,
+                         /*ingest_queues=*/kProducers);
+
+  const auto parts = testing::partition_by_process(t.records, kProducers);
+
+  std::atomic<bool> done{false};
+  std::vector<std::thread> readers;
+  for (int rdr = 0; rdr < 2; ++rdr) {
+    readers.emplace_back([&, rdr] {
+      Rng rng(static_cast<std::uint64_t>(100 + rdr));
+      std::uint64_t last_epoch = 0;
+      while (!done.load(std::memory_order_acquire)) {
+        const FileId f(
+            static_cast<std::uint32_t>(rng.next_below(t.file_count())));
+        const EpochSnapshot snap = miner.epoch_snapshot(f);
+        EXPECT_GE(snap.epoch, last_epoch) << "epoch went backwards";
+        last_epoch = snap.epoch;
+        ASSERT_LE(snap.view.size(), cfg.correlator_capacity);
+        for (std::size_t i = 0; i < snap.view.size(); ++i) {
+          EXPECT_NE(snap.view[i].file, f) << "self-correlation";
+          EXPECT_GE(snap.view[i].degree,
+                    static_cast<float>(cfg.max_strength) - 1e-4f)
+              << "torn/filtered degree surfaced";
+          if (i > 0)
+            EXPECT_GE(snap.view[i - 1].degree, snap.view[i].degree)
+                << "snapshot not sorted";
+        }
+      }
+    });
+  }
+
+  // Blocks until every producer thread has pushed its partition; the
+  // readers above keep hammering snapshots the whole time.
+  testing::replay_partitioned(miner, parts, /*chunk=*/32);
+  miner.flush();
+  done.store(true, std::memory_order_release);
+  for (auto& r : readers) r.join();
+
+  const MinerStats s = miner.stats();
+  EXPECT_EQ(s.requests, t.records.size());
+  EXPECT_EQ(s.pending, 0u);
+  EXPECT_GE(miner.epoch(), 1u);
+  EXPECT_EQ(s.epoch, miner.epoch());
+}
+
+// An owning snapshot cut before further ingest must never change, and
+// flush() must be an effective barrier even when called repeatedly.
+TEST(ConcurrentMinerStress, SnapshotsAreImmutableAndFlushIsIdempotent) {
+  const Trace& t = small_hp();
+  ConcurrentFarmer miner(FarmerConfig{}, t.dict, /*shards=*/2,
+                         /*ingest_queues=*/2);
+  const std::size_t half = t.records.size() / 2;
+  miner.observe_batch(
+      std::span<const TraceRecord>(t.records.data(), half));
+  miner.flush();
+  const std::uint64_t epoch_after_half = miner.epoch();
+
+  // Find a file with a non-empty list and pin its snapshot.
+  FileId pinned;
+  EpochSnapshot snap;
+  for (std::uint32_t f = 0; f < t.file_count(); ++f) {
+    snap = miner.epoch_snapshot(FileId(f));
+    if (!snap.view.empty()) {
+      pinned = FileId(f);
+      break;
+    }
+  }
+  ASSERT_TRUE(pinned.valid()) << "no correlations mined in half a trace";
+  ASSERT_TRUE(snap.view.owns_storage());
+  const FileId first = snap.view[0].file;
+  const float degree = snap.view[0].degree;
+
+  miner.observe_batch(std::span<const TraceRecord>(
+      t.records.data() + half, t.records.size() - half));
+  miner.flush();
+  miner.flush();  // idempotent: nothing pending, returns immediately
+
+  EXPECT_EQ(snap.view[0].file, first);
+  EXPECT_EQ(snap.view[0].degree, degree);
+  EXPECT_GE(miner.epoch(), epoch_after_half);
+  EXPECT_EQ(miner.stats().requests, t.records.size());
+  EXPECT_EQ(miner.stats().pending, 0u);
+}
 
 // ------------------------------------------------------- LDA properties --
 
