@@ -4,8 +4,11 @@
 // operations.
 #include <benchmark/benchmark.h>
 
+#include <atomic>
+
 #include "bench_util.hpp"
 #include "common/rng.hpp"
+#include "common/zipf.hpp"
 #include "cache/metadata_cache.hpp"
 #include "kvstore/btree.hpp"
 #include "vsm/similarity.hpp"
@@ -105,6 +108,67 @@ BENCHMARK(BM_ConcurrentIngest)
     ->Arg(4)
     ->Arg(8)
     ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+
+void BM_SnapshotUnderIngest(benchmark::State& state) {
+  // Mixed ingest + query: every benchmark thread is a reader issuing
+  // snapshot() on Zipf-hot files while one background producer replays the
+  // trace in a loop, so the drain keeps publishing fresh shard tables the
+  // whole time. Measures the RCU read path under churn; Arg(0) is the
+  // Correlator-List cache capacity (0 = disabled). Readers scaling with
+  // ->Threads() is the "no reader contention" claim made measurable.
+  struct Shared {
+    std::unique_ptr<CorrelationMiner> miner;
+    std::atomic<bool> stop{false};
+    std::thread producer;
+  };
+  static Shared* shared = nullptr;
+  const Trace& trace = hp();
+  if (state.thread_index() == 0) {
+    MinerOptions opts;
+    opts.query_cache_capacity = static_cast<std::size_t>(state.range(0));
+    shared = new Shared;
+    shared->miner =
+        make_miner("concurrent", fpa_config(trace), trace.dict, opts);
+    shared->miner->observe_batch(trace.records);  // warm state
+    shared->miner->flush();
+    shared->producer = std::thread([s = shared, &trace] {
+      constexpr std::size_t kChunk = 256;
+      std::size_t i = 0;
+      while (!s->stop.load(std::memory_order_acquire)) {
+        const std::size_t n =
+            std::min(kChunk, trace.records.size() - i);
+        s->miner->observe_batch(
+            std::span<const TraceRecord>(&trace.records[i], n));
+        i = (i + n) % trace.records.size();
+      }
+    });
+  }
+  // google-benchmark's start barrier guarantees thread 0's setup above
+  // completed before any thread enters this loop.
+  Rng rng(0xBEEF + static_cast<std::uint64_t>(state.thread_index()));
+  const ZipfRejection zipf(trace.dict->files.size(), 1.1);
+  for (auto _ : state) {
+    const FileId f(static_cast<std::uint32_t>(zipf.sample(rng)));
+    benchmark::DoNotOptimize(shared->miner->snapshot(f).size());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+  if (state.thread_index() == 0) {
+    shared->stop.store(true, std::memory_order_release);
+    shared->producer.join();
+    const MinerStats s = shared->miner->stats();
+    state.counters["cache_hits"] = static_cast<double>(s.cache_hits);
+    state.counters["cache_misses"] = static_cast<double>(s.cache_misses);
+    delete shared;
+    shared = nullptr;
+  }
+}
+BENCHMARK(BM_SnapshotUnderIngest)
+    ->Arg(0)      // RCU only
+    ->Arg(4096)   // RCU + correlator cache
+    ->Threads(1)
+    ->Threads(4)
+    ->Threads(8)
     ->UseRealTime();
 
 void BM_FpaPredict(benchmark::State& state) {

@@ -55,7 +55,12 @@ inline FarmerConfig fpa_config(const Trace& trace) {
 ///   FARMER_MINER=farmer|sharded|concurrent|nexus  (default "farmer")
 ///   FARMER_SHARDS=<n>           (default 4, "sharded"/"concurrent")
 ///   FARMER_INGEST_THREADS=<n>   (default 4, "concurrent" producer slots)
-/// so ablations over the backend are a flag, not a recompile.
+///   FARMER_QUERY_CACHE=<n>      (default 0 = off, "concurrent" hot
+///                                Correlator-List cache entries)
+///   FARMER_MAX_PENDING=<n>      (default backend, "concurrent" ingest
+///                                backpressure bound in records)
+/// so ablations over the backend are a flag, not a recompile. The README's
+/// configuration table is the authoritative reference for these knobs.
 inline const char* miner_backend() {
   const char* b = std::getenv("FARMER_MINER");
   return (b && *b) ? b : "farmer";
@@ -83,6 +88,12 @@ inline MinerOptions miner_options() {
   MinerOptions opts;
   env_size_into("FARMER_SHARDS", opts.shards);
   env_size_into("FARMER_INGEST_THREADS", opts.ingest_threads);
+  // Capacity knobs get a generous ceiling; 0 stays "disabled"/"default"
+  // (env_size_into rejects 0, matching the defaults already meaning that).
+  env_size_into("FARMER_QUERY_CACHE", opts.query_cache_capacity,
+                /*max_value=*/1u << 24);
+  env_size_into("FARMER_MAX_PENDING", opts.max_pending,
+                /*max_value=*/1u << 30);
   return opts;
 }
 
@@ -105,7 +116,8 @@ inline std::unique_ptr<CorrelationMiner> make_bench_miner(
       std::cerr << " (shards=" << opts.shards << ")";
     if (std::string_view(miner->name()) == "concurrent")
       std::cerr << " (shards=" << opts.shards
-                << ", ingest_threads=" << opts.ingest_threads << ")";
+                << ", ingest_threads=" << opts.ingest_threads
+                << ", query_cache=" << opts.query_cache_capacity << ")";
     std::cerr << "\n";
     return true;
   }();

@@ -1,0 +1,86 @@
+#!/usr/bin/env python3
+"""Fail on broken intra-repo markdown links.
+
+Scans every tracked *.md file for inline links and validates the ones that
+point inside the repository:
+
+  * relative file links must resolve to an existing file or directory
+    (anchors are stripped; `path#heading` checks `path`);
+  * bare in-document anchors (`#heading`) and external schemes
+    (http/https/mailto) are ignored — this is an offline repo check, not a
+    crawler.
+
+Exit status: 0 when every link resolves, 1 otherwise (each broken link is
+reported as `file:line: target`).
+"""
+from __future__ import annotations
+
+import re
+import subprocess
+import sys
+from pathlib import Path
+
+# Inline links: [text](target). Images share the syntax via a leading '!',
+# which the pattern happily treats the same way. Reference-style link
+# definitions `[id]: target` are rare here; handled separately below.
+INLINE_LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+REF_DEF = re.compile(r"^\s*\[[^\]]+\]:\s+(\S+)")
+EXTERNAL = re.compile(r"^[a-zA-Z][a-zA-Z0-9+.-]*:")  # http:, https:, mailto:
+
+
+def tracked_markdown(root: Path) -> list[Path]:
+    out = subprocess.run(
+        ["git", "ls-files", "*.md", "**/*.md"],
+        cwd=root, capture_output=True, text=True, check=True)
+    return [root / line for line in out.stdout.splitlines() if line]
+
+
+def targets_in(line: str) -> list[str]:
+    found = [m.group(1) for m in INLINE_LINK.finditer(line)]
+    ref = REF_DEF.match(line)
+    if ref:
+        found.append(ref.group(1))
+    return found
+
+
+def main() -> int:
+    root = Path(
+        subprocess.run(["git", "rev-parse", "--show-toplevel"],
+                       capture_output=True, text=True,
+                       check=True).stdout.strip())
+    broken: list[str] = []
+    checked = 0
+    in_code_fence = False
+    for md in tracked_markdown(root):
+        in_code_fence = False
+        for lineno, line in enumerate(
+                md.read_text(encoding="utf-8").splitlines(), start=1):
+            if line.lstrip().startswith("```"):
+                in_code_fence = not in_code_fence
+                continue
+            if in_code_fence:
+                continue
+            for target in targets_in(line):
+                if EXTERNAL.match(target) or target.startswith("#"):
+                    continue
+                path_part = target.split("#", 1)[0]
+                if not path_part:
+                    continue
+                # Leading slash = repo-root-relative (GitHub style); strip
+                # it or pathlib would resolve against the filesystem root.
+                resolved = (root / path_part.lstrip("/")) \
+                    if path_part.startswith("/") \
+                    else (md.parent / path_part)
+                checked += 1
+                if not resolved.exists():
+                    broken.append(
+                        f"{md.relative_to(root)}:{lineno}: {target}")
+    for b in broken:
+        print(f"BROKEN {b}", file=sys.stderr)
+    print(f"check_md_links: {checked} intra-repo links checked, "
+          f"{len(broken)} broken")
+    return 1 if broken else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

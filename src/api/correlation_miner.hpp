@@ -27,6 +27,20 @@
 namespace farmer {
 
 /// Backend-agnostic counters (Table 4 / Section 3.3 accounting).
+///
+/// Field contract per backend class — every backend fills every field with
+/// a defined value, never garbage:
+///
+///   * Synchronous backends (farmer, sharded, nexus): `epoch`, `pending`,
+///     `cache_hits` and `cache_misses` are explicitly zero and
+///     `shard_epochs` is empty — state is always current, nothing is ever
+///     queued, no query cache exists. Zero here *means* "not applicable",
+///     by contract (MinerStatsContract tests pin this down).
+///   * Asynchronous backends (concurrent): `requests`/`pairs_*` count
+///     *published* records (enqueued-but-unapplied records appear in
+///     `pending` instead), `epoch` is the global publish round,
+///     `shard_epochs[s]` is shard s's publish count, and the cache counters
+///     are live (all zero when the cache is disabled).
 struct MinerStats {
   std::uint64_t requests = 0;         ///< observe() calls ingested
   std::uint64_t pairs_evaluated = 0;  ///< CoMiner R(x,y) evaluations
@@ -37,6 +51,15 @@ struct MinerStats {
                              ///< synchronous, state is always current)
   std::uint64_t pending = 0; ///< records accepted but not yet applied (async
                              ///< backends; always 0 after flush())
+  std::uint64_t cache_hits = 0;    ///< Correlator-List cache hits (async
+                                   ///< backends with the cache enabled)
+  std::uint64_t cache_misses = 0;  ///< lookups that had to re-merge: cold,
+                                   ///< evicted, or epoch-stale entries
+  /// Per-shard publish counts (async backends; empty = synchronous). A
+  /// shard's entry advances exactly when an apply round touched it, which
+  /// is the invalidation signal the Correlator-List cache validates
+  /// against.
+  std::vector<std::uint64_t> shard_epochs;
 
   [[nodiscard]] double acceptance_rate() const noexcept {
     return pairs_evaluated
@@ -52,6 +75,21 @@ struct MinerStats {
 /// non-const call on the miner — the usual query-then-act pattern) or *owns*
 /// a merged copy (sharded backends). Move-only: copying an owning view would
 /// silently re-point the span at the source's buffer.
+///
+/// Lifetime contract by backend ("is the view stable across observe()?
+/// across flush()?"):
+///
+///   * "farmer" / "nexus" — borrowed (`owns_storage() == false`). Stable
+///     only until the next observe()/observe_batch() on the miner; flush()
+///     is a no-op and does not invalidate it. Query-then-act within one
+///     thread is safe; holding the view across further ingest is not.
+///   * "sharded" — owning merged copy. Stable forever, across any amount of
+///     observe()/flush(), and independent of the miner's lifetime.
+///   * "concurrent" — owning copy cut from an RCU-published immutable
+///     snapshot. Stable forever; concurrent ingest on other threads never
+///     mutates it (the stress tests pin this down under TSan).
+///
+/// When in doubt, check owns_storage(): an owning view never goes stale.
 class CorrelatorView {
  public:
   CorrelatorView() = default;
@@ -121,15 +159,31 @@ class CorrelatorView {
 };
 
 /// Abstract producer of Correlator Lists.
+///
+/// Thread-safety contract: the *interface* is single-threaded by default —
+/// synchronous backends ("farmer", "sharded", "nexus") must not be called
+/// concurrently from multiple threads, in any method combination. The
+/// asynchronous "concurrent" backend strengthens every method's contract
+/// (noted per method below): ingest is safe from any number of threads,
+/// const queries are safe from any number of threads concurrently with
+/// ingest, and flush() may be called from any thread. Per-method notes
+/// state the stronger guarantee where one exists.
 class CorrelationMiner {
  public:
   virtual ~CorrelationMiner() = default;
 
   /// Ingests one file request (the full mining pipeline of the backend).
+  ///
+  /// Thread-safety: synchronous backends — external synchronization
+  /// required; "concurrent" — lock-free, callable from any thread, and
+  /// never blocks on queries (soft backpressure only).
+  /// Invalidates borrowed CorrelatorViews handed out by this miner
+  /// (owning views are unaffected — see CorrelatorView).
   virtual void observe(const TraceRecord& rec) = 0;
 
   /// Ingests a batch. Backends with internal parallelism (sharding) override
-  /// this; the default is the serial loop.
+  /// this; the default is the serial loop. Same thread-safety and
+  /// view-invalidation contract as observe().
   virtual void observe_batch(std::span<const TraceRecord> records) {
     for (const TraceRecord& r : records) observe(r);
   }
@@ -137,13 +191,23 @@ class CorrelationMiner {
   /// Barrier: returns once every record accepted by observe()/observe_batch()
   /// before this call is reflected in queries. Synchronous backends apply
   /// records inside observe() and need do nothing; asynchronous backends
-  /// (the "concurrent" miner) drain their ingest queues. Calling flush()
-  /// while other threads keep producing is allowed but only guarantees the
-  /// records accepted before the call.
+  /// (the "concurrent" miner) drain their ingest queues *and publish the
+  /// result*, so a query issued after flush() returns answers from state
+  /// including every flushed record. Calling flush() while other threads
+  /// keep producing is allowed but only guarantees the records accepted
+  /// before the call. flush() never invalidates any CorrelatorView,
+  /// borrowed or owning.
   virtual void flush() {}
 
   /// Immutable snapshot of `f`'s Correlator List, sorted by descending
   /// degree. Every entry passed the backend's validity threshold.
+  ///
+  /// Lifetime: see the CorrelatorView class comment — borrowed for
+  /// "farmer"/"nexus" (stale after the next observe()), owning and
+  /// permanently stable for "sharded"/"concurrent".
+  /// Thread-safety: "concurrent" serves this lock-free from RCU-published
+  /// state, safe from any thread at any time; synchronous backends require
+  /// external synchronization against ingest.
   [[nodiscard]] virtual CorrelatorView snapshot(FileId f) const = 0;
 
   /// Materialized Correlator List (convenience over snapshot()). Owning
@@ -153,22 +217,30 @@ class CorrelationMiner {
   }
 
   /// R(a, b) under the current state (evaluation-only; no list updates).
+  /// Same thread-safety contract as snapshot().
   [[nodiscard]] virtual double correlation_degree(FileId a, FileId b) const = 0;
 
   /// Raw semantic distance sim(a, b); 0 for sequence-only backends or when
-  /// either file has no recorded context yet.
-  [[nodiscard]] virtual double semantic_similarity(FileId a,
-                                                   FileId b) const {
+  /// either file has no recorded context yet. Same thread-safety contract
+  /// as snapshot().
+  [[nodiscard]] virtual double semantic_similarity(FileId /*a*/,
+                                                   FileId /*b*/) const {
     return 0.0;
   }
 
-  /// N_f: total recorded accesses of `f` (0 if unknown).
+  /// N_f: total recorded accesses of `f` (0 if unknown). Same thread-safety
+  /// contract as snapshot().
   [[nodiscard]] virtual std::uint64_t access_count(FileId f) const = 0;
 
-  /// F(pred, succ) = N_AB / N_A; 0 when N_A == 0.
+  /// F(pred, succ) = N_AB / N_A; 0 when N_A == 0. Same thread-safety
+  /// contract as snapshot().
   [[nodiscard]] virtual double access_frequency(FileId pred,
                                                 FileId succ) const = 0;
 
+  /// Counter snapshot; see the MinerStats field contract for which fields
+  /// are meaningful per backend class. On "concurrent" this is safe from
+  /// any thread and internally consistent (one published state), though
+  /// `pending` is read separately and may lag by an in-flight apply round.
   [[nodiscard]] virtual MinerStats stats() const = 0;
 
   /// Additional memory the miner holds (Table 4 accounting).

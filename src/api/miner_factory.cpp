@@ -63,7 +63,8 @@ Registry& registry() {
       return std::make_unique<ConcurrentFarmer>(cfg, std::move(dict),
                                                 opts.shards,
                                                 opts.ingest_threads,
-                                                opts.max_pending);
+                                                opts.max_pending,
+                                                opts.query_cache_capacity);
     };
     return built_in;
   }();

@@ -23,7 +23,8 @@
 
 namespace farmer {
 
-/// Backend knobs that are not model parameters.
+/// Backend knobs that are not model parameters. The README's configuration
+/// table documents every field alongside its FARMER_* environment variable.
 struct MinerOptions {
   std::size_t shards = 4;  ///< partitions for "sharded" and "concurrent"
   /// Producer queue slots for the "concurrent" backend: the number of
@@ -33,6 +34,13 @@ struct MinerOptions {
   /// Backpressure bound for the "concurrent" backend: producers soft-block
   /// once this many records are queued but unapplied. 0 = backend default.
   std::size_t max_pending = 0;
+  /// Capacity (entries) of the "concurrent" backend's epoch-validated LRU
+  /// cache of hot merged Correlator Lists, in front of the snapshot query
+  /// path. 0 disables caching entirely — every query re-merges, which is
+  /// the reference behavior the differential tests compare against.
+  /// Ignored by synchronous backends (their snapshot() is already a
+  /// zero-copy borrow or a single-merge). Env: FARMER_QUERY_CACHE.
+  std::size_t query_cache_capacity = 0;
 };
 
 using MinerFactoryFn = std::function<std::unique_ptr<CorrelationMiner>(
@@ -41,14 +49,29 @@ using MinerFactoryFn = std::function<std::unique_ptr<CorrelationMiner>(
 
 /// Adds (or replaces) a backend under `name`. Returns true when `name` was
 /// new. Built-ins "farmer", "sharded", "concurrent" and "nexus" are
-/// pre-registered.
+/// pre-registered. This is the extension seam for new backends (remote
+/// shards, multi-backend serving, ...) — see docs/ARCHITECTURE.md.
+///
+/// A registered factory must return miners honoring the CorrelationMiner
+/// contracts (correlation_miner.hpp): in particular flush() must be a real
+/// ingest barrier on asynchronous backends, and stats() must follow the
+/// MinerStats field contract (zero epoch/pending/cache counters and empty
+/// shard_epochs when the concept does not apply).
+///
+/// Thread-safety: registration is NOT synchronized against concurrent
+/// make_miner()/registered_miners() calls — register backends at startup,
+/// before mining threads exist (the registry is touched from one thread in
+/// every shipped consumer).
 bool register_miner(const std::string& name, MinerFactoryFn factory);
 
 /// Registered backend names, sorted.
 [[nodiscard]] std::vector<std::string> registered_miners();
 
 /// Constructs the backend registered under `name`. Throws
-/// std::invalid_argument on an unknown name or an invalid `cfg`.
+/// std::invalid_argument on an unknown name or an invalid `cfg`. The
+/// returned miner is exclusively owned: nothing in the factory retains a
+/// reference, so its lifetime and thread-affinity are entirely the
+/// caller's (see the per-backend thread-safety contracts).
 [[nodiscard]] std::unique_ptr<CorrelationMiner> make_miner(
     std::string_view name, const FarmerConfig& cfg,
     std::shared_ptr<const TraceDictionary> dict,

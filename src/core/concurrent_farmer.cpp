@@ -3,6 +3,7 @@
 #include <chrono>
 #include <functional>
 #include <iterator>
+#include <utility>
 
 namespace farmer {
 
@@ -10,13 +11,27 @@ ConcurrentFarmer::ConcurrentFarmer(FarmerConfig cfg,
                                    std::shared_ptr<const TraceDictionary> dict,
                                    std::size_t shards,
                                    std::size_t ingest_queues,
-                                   std::size_t max_pending)
+                                   std::size_t max_pending,
+                                   std::size_t query_cache_capacity)
     : inner_(std::make_unique<ShardedFarmer>(cfg, std::move(dict), shards)),
-      max_pending_(max_pending == 0 ? kDefaultMaxPending : max_pending) {
+      correlator_capacity_(cfg.correlator_capacity),
+      max_pending_(max_pending == 0 ? kDefaultMaxPending : max_pending),
+      cache_(query_cache_capacity) {
   const std::size_t slots = ingest_queues == 0 ? 1 : ingest_queues;
   queues_.reserve(slots);
   for (std::size_t i = 0; i < slots; ++i)
     queues_.push_back(std::make_unique<MpscQueue<Batch>>());
+
+  // Publish the epoch-0 table (snapshots of the empty shards) before the
+  // drain starts, so a query can never observe a null table.
+  auto initial = std::make_shared<ShardTable>();
+  initial->shards.reserve(inner_->shard_count());
+  for (std::size_t s = 0; s < inner_->shard_count(); ++s)
+    initial->shards.push_back(inner_->export_shard_snapshot(s));
+  initial->shard_epochs.assign(inner_->shard_count(), 0);
+  initial->stats.shards = inner_->shard_count();
+  table_.store(std::move(initial));
+
   drain_thread_ = std::thread([this] { drain_loop(); });
 }
 
@@ -72,6 +87,8 @@ void ConcurrentFarmer::flush() {
   const std::uint64_t target = enqueued_total_.load(std::memory_order_acquire);
   std::unique_lock<std::mutex> lk(wake_mu_);
   wake_cv_.notify_one();
+  // applied_total_ is bumped only *after* the table swap, so reaching the
+  // target proves the published table reflects every accepted record.
   drained_cv_.wait(lk, [&] {
     return applied_total_.load(std::memory_order_acquire) >= target;
   });
@@ -90,16 +107,36 @@ std::size_t ConcurrentFarmer::collect(Batch& into) {
   return total;
 }
 
-void ConcurrentFarmer::apply(const Batch& batch) {
-  {
-    std::unique_lock<std::shared_mutex> lk(state_mu_);
-    inner_->observe_batch(batch);
-    epoch_.fetch_add(1, std::memory_order_release);
-    // Counter updates stay inside the lock so stats() never observes a
-    // batch counted in both the inner requests and pending.
-    pending_.fetch_sub(batch.size(), std::memory_order_release);
-    applied_total_.fetch_add(batch.size(), std::memory_order_release);
+void ConcurrentFarmer::publish(const Batch& batch) {
+  // Which shards did this round touch? Only those need fresh snapshots;
+  // untouched shards share their snapshot with the previous table.
+  std::vector<std::uint8_t> touched(inner_->shard_count(), 0);
+  for (const TraceRecord& r : batch) touched[inner_->shard_of(r)] = 1;
+
+  const std::shared_ptr<const ShardTable> cur = table_.load();
+  auto next = std::make_shared<ShardTable>();
+  next->shards = cur->shards;
+  next->shard_epochs = cur->shard_epochs;
+  for (std::size_t s = 0; s < touched.size(); ++s) {
+    if (!touched[s]) continue;
+    next->shards[s] = inner_->export_shard_snapshot(s);
+    ++next->shard_epochs[s];
   }
+  next->epoch = cur->epoch + 1;
+  next->stats = inner_->stats();  // includes shards = shard_count()
+  table_.store(std::move(next));
+}
+
+void ConcurrentFarmer::apply(const Batch& batch) {
+  // The drain owns inner_ exclusively: no lock is needed to mutate it, and
+  // readers only ever see the immutable table published below.
+  inner_->observe_batch(batch);
+  publish(batch);
+  // Counter order matters: applied_total_ (the flush() predicate) and
+  // pending_ shrink only after the swap, so neither flush() nor stats()
+  // can observe "applied" records that are not yet queryable.
+  pending_.fetch_sub(batch.size(), std::memory_order_release);
+  applied_total_.fetch_add(batch.size(), std::memory_order_release);
   {
     std::lock_guard<std::mutex> lk(wake_mu_);
     drained_cv_.notify_all();
@@ -140,51 +177,87 @@ void ConcurrentFarmer::drain_loop() {
   }
 }
 
+std::vector<Correlator> ConcurrentFarmer::cached_correlators(
+    FileId f, const ShardTable& t) const {
+  if (!cache_.enabled())
+    return ShardedFarmer::merged_correlators(t.shards, f,
+                                             correlator_capacity_);
+  // A shard with no recorded access of f cannot hold (and can never have
+  // held) a Correlator List for it, so "still absent" certifies the shard
+  // is still a non-contributor.
+  const auto still_absent = [&](std::size_t s) {
+    return t.shards[s]->access_count(f) == 0;
+  };
+  if (auto hit = cache_.lookup(f, t.shard_epochs, still_absent))
+    return std::move(*hit);
+  std::vector<Correlator> merged = ShardedFarmer::merged_correlators(
+      t.shards, f, correlator_capacity_);
+  std::vector<std::uint8_t> contained(t.shards.size(), 0);
+  for (std::size_t s = 0; s < t.shards.size(); ++s)
+    contained[s] = t.shards[s]->access_count(f) > 0 ? 1 : 0;
+  cache_.insert(f, t.shard_epochs, std::move(contained), merged);
+  return merged;
+}
+
 CorrelatorView ConcurrentFarmer::snapshot(FileId f) const {
-  std::shared_lock<std::shared_mutex> lk(state_mu_);
-  return CorrelatorView(inner_->correlators(f));
+  const auto t = table();
+  return CorrelatorView(cached_correlators(f, *t));
 }
 
 EpochSnapshot ConcurrentFarmer::epoch_snapshot(FileId f) const {
-  std::shared_lock<std::shared_mutex> lk(state_mu_);
+  // One table load serves both members, so the stamp always matches the
+  // state the view was cut from.
+  const auto t = table();
   EpochSnapshot snap;
-  snap.view = CorrelatorView(inner_->correlators(f));
-  snap.epoch = epoch_.load(std::memory_order_acquire);
+  snap.view = CorrelatorView(cached_correlators(f, *t));
+  snap.epoch = t->epoch;
   return snap;
 }
 
 double ConcurrentFarmer::correlation_degree(FileId a, FileId b) const {
-  std::shared_lock<std::shared_mutex> lk(state_mu_);
-  return inner_->correlation_degree(a, b);
+  const auto t = table();
+  return ShardedFarmer::merged_correlation_degree(t->shards, a, b);
 }
 
 double ConcurrentFarmer::semantic_similarity(FileId a, FileId b) const {
-  std::shared_lock<std::shared_mutex> lk(state_mu_);
-  return inner_->semantic_similarity(a, b);
+  const auto t = table();
+  return ShardedFarmer::merged_semantic_similarity(t->shards, a, b);
 }
 
 std::uint64_t ConcurrentFarmer::access_count(FileId f) const {
-  std::shared_lock<std::shared_mutex> lk(state_mu_);
-  return inner_->access_count(f);
+  const auto t = table();
+  return ShardedFarmer::merged_access_count(t->shards, f);
 }
 
 double ConcurrentFarmer::access_frequency(FileId pred, FileId succ) const {
-  std::shared_lock<std::shared_mutex> lk(state_mu_);
-  return inner_->access_frequency(pred, succ);
+  const auto t = table();
+  return ShardedFarmer::merged_access_frequency(t->shards, pred, succ);
 }
 
 MinerStats ConcurrentFarmer::stats() const {
-  std::shared_lock<std::shared_mutex> lk(state_mu_);
-  MinerStats s = inner_->stats();
-  s.epoch = epoch_.load(std::memory_order_acquire);
+  const auto t = table();
+  MinerStats s = t->stats;
+  s.epoch = t->epoch;
+  s.shard_epochs = t->shard_epochs;
   s.pending = pending_.load(std::memory_order_acquire);
+  const CorrelatorCacheStats cs = cache_.stats();
+  s.cache_hits = cs.hits;
+  // Every lookup that had to fall through to a merge counts as a miss,
+  // whether the entry was absent or epoch-stale.
+  s.cache_misses = cs.misses + cs.invalidations;
   return s;
 }
 
 std::size_t ConcurrentFarmer::footprint_bytes() const noexcept {
-  std::shared_lock<std::shared_mutex> lk(state_mu_);
-  return sizeof(*this) + inner_->footprint_bytes() +
-         queues_.size() * sizeof(MpscQueue<Batch>) +
+  // Readers may not touch inner_ (drain-owned); account the published
+  // snapshots, which mirror the live state one-to-one, and double them to
+  // cover the drain's mutable copy. Between publishes the two sides differ
+  // by at most the pending records, which are counted separately.
+  const auto t = table();
+  std::size_t snapshots = 0;
+  for (const auto& s : t->shards) snapshots += s->footprint_bytes();
+  return sizeof(*this) + 2 * snapshots +
+         queues_.size() * sizeof(MpscQueue<Batch>) + cache_.footprint_bytes() +
          pending_.load(std::memory_order_acquire) * sizeof(TraceRecord);
 }
 

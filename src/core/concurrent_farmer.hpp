@@ -4,8 +4,10 @@
 // `ConcurrentFarmer` decouples the two halves of that problem:
 //
 //   producers ──push──▶ per-slot MpscQueues ──drain thread──▶ ShardedFarmer
-//                                                 │
-//   readers ◀─── epoch-numbered owning snapshots ─┘
+//                                                 │ per-shard snapshot export
+//   readers ◀── RCU shard-table (atomic shared_ptr swap) ◀── publish
+//        │
+//        └── epoch-validated Correlator-List cache (hot queries)
 //
 // * Ingest is lock-free for callers: `observe()`/`observe_batch()` route to
 //   one of `ingest_queues` MPSC queues (slot = hash of the calling thread)
@@ -13,26 +15,37 @@
 //   mutex and never wait for queries. Per-thread FIFO order is preserved;
 //   cross-thread interleaving is whatever the drain observes — the standard
 //   relaxed guarantee of a concurrent ingest path.
-// * A dedicated drain thread pops whole batches, concatenates them and
-//   applies them to an inner `ShardedFarmer` under the write side of a
-//   shared_mutex, bumping the published epoch after every apply round.
-// * Queries take the read side, materialize an *owning* CorrelatorView and
-//   stamp it with the epoch it was cut from: readers never observe a list
-//   mid-update (no torn degrees) and successive reads see monotonically
-//   non-decreasing epochs.
+// * The live ShardedFarmer is owned *exclusively* by the drain thread —
+//   no query ever touches it. After applying a batch the drain exports an
+//   immutable deep-copy snapshot of every shard the batch touched
+//   (Farmer's copy constructor) and publishes a new `ShardTable` — the
+//   shared_ptr array of current shard snapshots plus per-shard publish
+//   epochs — with one atomic shared_ptr swap. This is RCU: readers load
+//   the table pointer (acquire), query immutable state, and drop their
+//   reference; reclamation is shared_ptr reference counting. Readers never
+//   take a lock and never retry; writers never wait for readers.
+// * Queries merge the per-shard snapshot lists with the *same* static
+//   helpers ShardedFarmer uses live (merged_correlators & friends), which
+//   is what keeps flush()-then-query byte-identical to the "sharded"
+//   backend. An optional epoch-validated cache (cache/correlator_cache.hpp)
+//   memoizes hot merged lists; entries are invalidated lazily when a
+//   contributing shard's epoch advances (`query_cache_capacity` knob,
+//   0 = disabled).
 //
 // `flush()` is the barrier between the two worlds: it returns once every
-// record accepted before the call has been applied, which is what makes the
-// backend differentially testable — a single-threaded replay followed by
-// flush() is byte-identical to the synchronous "sharded" backend, because
-// each queue preserves FIFO order and shard state only depends on the
-// per-shard record order.
+// record accepted before the call has been applied *and published*, which
+// is what makes the backend differentially testable — a single-threaded
+// replay followed by flush() is byte-identical to the synchronous "sharded"
+// backend, because each queue preserves FIFO order and shard state only
+// depends on the per-shard record order.
 //
 // Memory is bounded by `max_pending`: producers soft-block (yield-spin) once
 // that many records are queued but unapplied, so a stalled drain cannot
 // balloon the process. A single batch larger than the bound is admitted
 // once the drain has caught up (refusing it could never unblock), so the
-// effective bound is max(max_pending, largest single batch).
+// effective bound is max(max_pending, largest single batch). The published
+// snapshots add roughly one live-state replica: the drain holds the mutable
+// mirror, readers hold the immutable one (see footprint_bytes()).
 #pragma once
 
 #include <atomic>
@@ -40,12 +53,13 @@
 #include <cstdint>
 #include <memory>
 #include <mutex>
-#include <shared_mutex>
 #include <span>
 #include <thread>
 #include <vector>
 
 #include "api/correlation_miner.hpp"
+#include "cache/correlator_cache.hpp"
+#include "common/atomic_shared_ptr.hpp"
 #include "common/mpsc_queue.hpp"
 #include "core/sharded_farmer.hpp"
 
@@ -65,7 +79,8 @@ class ConcurrentFarmer final : public CorrelationMiner {
   ConcurrentFarmer(FarmerConfig cfg,
                    std::shared_ptr<const TraceDictionary> dict,
                    std::size_t shards, std::size_t ingest_queues,
-                   std::size_t max_pending = kDefaultMaxPending);
+                   std::size_t max_pending = kDefaultMaxPending,
+                   std::size_t query_cache_capacity = 0);
   ~ConcurrentFarmer() override;
 
   ConcurrentFarmer(const ConcurrentFarmer&) = delete;
@@ -83,10 +98,14 @@ class ConcurrentFarmer final : public CorrelationMiner {
   /// its internal order survives into the shards.
   void observe_batch(std::span<const TraceRecord> records) override;
 
-  /// Blocks until everything accepted before the call has been applied.
+  /// Blocks until everything accepted before the call has been applied and
+  /// published; afterwards every query answers from state that includes it.
   void flush() override;
 
   /// Owning snapshot of `f`'s merged Correlator List at the current epoch.
+  /// Lock-free: loads the published shard table, consults the cache, merges
+  /// on miss. The view stays valid and immutable for as long as the caller
+  /// holds it, across any amount of further ingest.
   [[nodiscard]] CorrelatorView snapshot(FileId f) const override;
 
   /// snapshot() plus the epoch stamp, for readers that track progression.
@@ -98,24 +117,40 @@ class ConcurrentFarmer final : public CorrelationMiner {
   [[nodiscard]] double access_frequency(FileId pred,
                                         FileId succ) const override;
 
-  /// Inner sharded stats plus `epoch` and `pending`. `requests` counts
-  /// *applied* records; enqueued-but-unapplied records are `pending`.
+  /// Published sharded stats plus `epoch`, `pending`, per-shard
+  /// `shard_epochs` and the cache hit/miss counters. `requests` counts
+  /// *published* records; enqueued-but-unapplied records are `pending`.
   [[nodiscard]] MinerStats stats() const override;
   [[nodiscard]] std::size_t footprint_bytes() const noexcept override;
   [[nodiscard]] const char* name() const noexcept override {
     return "concurrent";
   }
 
-  /// Number of apply rounds published so far (monotone).
+  /// Number of publish rounds so far (monotone).
   [[nodiscard]] std::uint64_t epoch() const noexcept {
-    return epoch_.load(std::memory_order_acquire);
+    return table_.load()->epoch;
   }
   [[nodiscard]] std::size_t ingest_queue_count() const noexcept {
     return queues_.size();
   }
+  /// Correlator-List cache counters (all zero when the cache is disabled).
+  [[nodiscard]] CorrelatorCacheStats cache_stats() const {
+    return cache_.stats();
+  }
 
  private:
   using Batch = std::vector<TraceRecord>;
+
+  /// The RCU-published immutable view of mined state: one snapshot per
+  /// shard plus that shard's publish count. A table is never mutated after
+  /// the atomic swap; shard snapshots are shared between consecutive tables
+  /// when the shard was not touched by the round.
+  struct ShardTable {
+    std::vector<std::shared_ptr<const Farmer>> shards;
+    std::vector<std::uint64_t> shard_epochs;
+    std::uint64_t epoch = 0;
+    MinerStats stats;  ///< inner sharded counters as of this publish
+  };
 
   [[nodiscard]] std::size_t slot_of_this_thread() const noexcept;
   void enqueue(Batch batch);
@@ -124,10 +159,28 @@ class ConcurrentFarmer final : public CorrelationMiner {
   /// preserving per-queue order. Returns the number of records collected.
   std::size_t collect(Batch& into);
   void apply(const Batch& batch);
+  void publish(const Batch& batch);
 
+  /// Borrow the current table (one atomic shared_ptr load, acquire).
+  [[nodiscard]] std::shared_ptr<const ShardTable> table() const {
+    return table_.load();
+  }
+  /// Merged list through the cache (lookup, else merge + memoize).
+  [[nodiscard]] std::vector<Correlator> cached_correlators(
+      FileId f, const ShardTable& t) const;
+
+  /// Live mining state; owned exclusively by the drain thread after
+  /// construction. Queries only ever read published snapshots.
   std::unique_ptr<ShardedFarmer> inner_;
+  const std::size_t correlator_capacity_;
   std::vector<std::unique_ptr<MpscQueue<Batch>>> queues_;
   const std::size_t max_pending_;
+
+  /// RCU head: swapped (release) by the drain after every apply round,
+  /// loaded (acquire) by every query.
+  AtomicSharedPtr<const ShardTable> table_;
+
+  mutable CorrelatorCache cache_;
 
   /// Records enqueued but not yet applied. Incremented before the queue push
   /// so `pending_ == 0` proves the drain has caught up with every accepted
@@ -135,12 +188,8 @@ class ConcurrentFarmer final : public CorrelationMiner {
   std::atomic<std::size_t> pending_{0};
   std::atomic<std::uint64_t> enqueued_total_{0};
   std::atomic<std::uint64_t> applied_total_{0};
-  std::atomic<std::uint64_t> epoch_{0};
   std::atomic<bool> stop_{false};
   std::atomic<bool> drain_idle_{false};
-
-  /// Write side: drain thread while applying. Read side: every query.
-  mutable std::shared_mutex state_mu_;
 
   /// Wakes the drain thread (producers) and flush() waiters (drain thread).
   std::mutex wake_mu_;

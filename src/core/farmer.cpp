@@ -11,6 +11,19 @@ Farmer::Farmer(FarmerConfig cfg, std::shared_ptr<const TraceDictionary> dict)
       miner_(cfg_, graph_),
       window_(cfg.window) {}
 
+Farmer::Farmer(const Farmer& other)
+    : cfg_(other.cfg_),
+      extractor_(other.extractor_),
+      graph_(other.graph_),
+      // Rebind the miner to *this* copy's config and graph; a defaulted
+      // member copy would keep referencing the source's.
+      miner_(cfg_, graph_, other.miner_.stats()),
+      window_(other.window_),
+      vectors_(other.vectors_),
+      signatures_(other.signatures_),
+      has_state_(other.has_state_),
+      requests_(other.requests_) {}
+
 void Farmer::ensure_file_state(FileId f) {
   const auto i = static_cast<std::size_t>(f.value());
   if (i >= vectors_.size()) {

@@ -29,6 +29,16 @@ class Farmer : public CorrelationMiner {
  public:
   Farmer(FarmerConfig cfg, std::shared_ptr<const TraceDictionary> dict);
 
+  /// Deep copy: duplicates the graph, window and per-file semantic state and
+  /// rebinds the internal CoMiner to the copy's own members. This is what
+  /// makes a Farmer usable as an immutable *shard snapshot*: the sharded
+  /// backend exports copies of its shards, the concurrent backend publishes
+  /// them RCU-style, and every const query on the copy answers exactly as
+  /// the source would have at copy time. The trace dictionary is shared
+  /// (immutable by construction).
+  Farmer(const Farmer& other);
+  Farmer& operator=(const Farmer&) = delete;
+
   /// Ingests one file request (all four stages).
   void observe(const TraceRecord& rec) override;
 

@@ -1,7 +1,5 @@
 #include "core/sharded_farmer.hpp"
 
-#include <algorithm>
-
 #include "common/hash.hpp"
 #include "common/parallel.hpp"
 
@@ -36,66 +34,31 @@ void ShardedFarmer::observe_batch(std::span<const TraceRecord> records) {
 }
 
 std::vector<Correlator> ShardedFarmer::correlators(FileId f) const {
-  std::vector<Correlator> merged;
-  for (const auto& shard : shards_)
-    for (const Correlator& c : shard->correlator_list(f)) merged.push_back(c);
-  std::sort(merged.begin(), merged.end(),
-            [](const Correlator& a, const Correlator& b) {
-              if (a.degree != b.degree) return a.degree > b.degree;
-              return a.file < b.file;
-            });
-  // Deduplicate successors: the strongest shard wins.
-  std::vector<Correlator> out;
-  for (const Correlator& c : merged) {
-    const bool seen = std::any_of(
-        out.begin(), out.end(),
-        [&](const Correlator& o) { return o.file == c.file; });
-    if (!seen) out.push_back(c);
-    if (out.size() >= cfg_.correlator_capacity) break;
-  }
-  return out;
+  return merged_correlators(shards_, f, cfg_.correlator_capacity);
 }
 
 double ShardedFarmer::correlation_degree(FileId a, FileId b) const {
-  double best = 0.0;
-  for (const auto& shard : shards_)
-    best = std::max(best, shard->correlation_degree(a, b));
-  return best;
+  return merged_correlation_degree(shards_, a, b);
 }
 
 double ShardedFarmer::semantic_similarity(FileId a, FileId b) const {
-  double best = 0.0;
-  for (const auto& shard : shards_)
-    best = std::max(best, shard->semantic_similarity(a, b));
-  return best;
+  return merged_semantic_similarity(shards_, a, b);
 }
 
 std::uint64_t ShardedFarmer::access_count(FileId f) const {
-  std::uint64_t total = 0;
-  for (const auto& shard : shards_) total += shard->access_count(f);
-  return total;
+  return merged_access_count(shards_, f);
 }
 
 double ShardedFarmer::access_frequency(FileId pred, FileId succ) const {
-  double nab = 0.0;
-  std::uint64_t na = 0;
-  for (const auto& shard : shards_) {
-    nab += shard->graph().edge_weight(pred, succ);
-    na += shard->graph().access_count(pred);
-  }
-  return na == 0 ? 0.0 : nab / static_cast<double>(na);
+  return merged_access_frequency(shards_, pred, succ);
 }
 
 MinerStats ShardedFarmer::stats() const {
-  MinerStats total;
+  MinerStats total = merged_stats(shards_);
   total.shards = shards_.size();
-  for (const auto& shard : shards_) {
-    const MinerStats s = shard->stats();
-    total.requests += s.requests;
-    total.pairs_evaluated += s.pairs_evaluated;
-    total.pairs_accepted += s.pairs_accepted;
-    total.pairs_filtered += s.pairs_filtered;
-  }
+  // Synchronous backend: state is always current, nothing is ever queued.
+  // epoch/pending/cache counters stay at their explicit zero defaults and
+  // shard_epochs stays empty (see the MinerStats field contract).
   return total;
 }
 

@@ -11,8 +11,17 @@
 // each shard's window — the same effect the paper attributes to semantic
 // filtering — so shard results are a strict-quality variant, not an
 // approximation; the equivalence test pins down the exact relationship.
+//
+// The cross-shard merge rules live in the static `merged_*` helpers, which
+// operate on any span of Farmer shards — this class's live shards or the
+// immutable shard snapshots the concurrent backend publishes RCU-style
+// (export_shard_snapshot). Every consumer of shard state runs the same
+// arithmetic in the same order, which is what makes "concurrent after
+// flush() is byte-identical to sharded" a structural property instead of a
+// test-enforced coincidence.
 #pragma once
 
+#include <algorithm>
 #include <memory>
 #include <span>
 #include <vector>
@@ -68,9 +77,110 @@ class ShardedFarmer final : public CorrelationMiner {
   }
   [[nodiscard]] std::size_t footprint_bytes() const noexcept override;
 
- private:
+  /// Shard a record routes to (mix64 of the process id). Exposed so the
+  /// concurrent backend can tell which shards an apply round will touch and
+  /// republish only those snapshots.
   [[nodiscard]] std::size_t shard_of(const TraceRecord& rec) const noexcept;
 
+  /// Immutable deep copy of shard `i` for RCU publication: every const
+  /// query on the returned Farmer answers exactly as the live shard would
+  /// have at export time, and nothing can mutate it afterwards.
+  [[nodiscard]] std::shared_ptr<const Farmer> export_shard_snapshot(
+      std::size_t i) const {
+    return std::make_shared<const Farmer>(*shards_.at(i));
+  }
+
+  // Cross-shard merge rules over any shard set — templated on the range so
+  // the live shards (vector<unique_ptr<Farmer>>) and the concurrent
+  // backend's published snapshots (vector<shared_ptr<const Farmer>>) both
+  // query without materializing a pointer array per call (the query paths
+  // are allocation-free apart from the returned list). `*element` must
+  // dereference to `const Farmer&`.
+
+  /// Merged Correlator List: concatenate per-shard lists, sort by
+  /// descending degree (file id breaks ties), deduplicate keeping the
+  /// strongest shard's entry, cap at `capacity`.
+  template <typename ShardRange>
+  [[nodiscard]] static std::vector<Correlator> merged_correlators(
+      const ShardRange& shards, FileId f, std::size_t capacity) {
+    std::vector<Correlator> merged;
+    for (const auto& shard : shards)
+      for (const Correlator& c : shard->correlator_list(f))
+        merged.push_back(c);
+    std::sort(merged.begin(), merged.end(),
+              [](const Correlator& a, const Correlator& b) {
+                if (a.degree != b.degree) return a.degree > b.degree;
+                return a.file < b.file;
+              });
+    // Deduplicate successors: the strongest shard wins.
+    std::vector<Correlator> out;
+    for (const Correlator& c : merged) {
+      const bool seen = std::any_of(
+          out.begin(), out.end(),
+          [&](const Correlator& o) { return o.file == c.file; });
+      if (!seen) out.push_back(c);
+      if (out.size() >= capacity) break;
+    }
+    return out;
+  }
+
+  /// Strongest per-shard R(a, b) — consistent with the merge rule.
+  template <typename ShardRange>
+  [[nodiscard]] static double merged_correlation_degree(
+      const ShardRange& shards, FileId a, FileId b) {
+    double best = 0.0;
+    for (const auto& shard : shards)
+      best = std::max(best, shard->correlation_degree(a, b));
+    return best;
+  }
+
+  template <typename ShardRange>
+  [[nodiscard]] static double merged_semantic_similarity(
+      const ShardRange& shards, FileId a, FileId b) {
+    double best = 0.0;
+    for (const auto& shard : shards)
+      best = std::max(best, shard->semantic_similarity(a, b));
+    return best;
+  }
+
+  /// Global N_f: accesses summed over shards.
+  template <typename ShardRange>
+  [[nodiscard]] static std::uint64_t merged_access_count(
+      const ShardRange& shards, FileId f) {
+    std::uint64_t total = 0;
+    for (const auto& shard : shards) total += shard->access_count(f);
+    return total;
+  }
+
+  /// Global F(pred, succ) = sum_s N_AB,s / sum_s N_A,s.
+  template <typename ShardRange>
+  [[nodiscard]] static double merged_access_frequency(
+      const ShardRange& shards, FileId pred, FileId succ) {
+    double nab = 0.0;
+    std::uint64_t na = 0;
+    for (const auto& shard : shards) {
+      nab += shard->graph().edge_weight(pred, succ);
+      na += shard->graph().access_count(pred);
+    }
+    return na == 0 ? 0.0 : nab / static_cast<double>(na);
+  }
+
+  /// Sums the four mining counters over shards; shards/epoch/pending are
+  /// left at their zero defaults for the caller to fill in.
+  template <typename ShardRange>
+  [[nodiscard]] static MinerStats merged_stats(const ShardRange& shards) {
+    MinerStats total;
+    for (const auto& shard : shards) {
+      const MinerStats s = shard->stats();
+      total.requests += s.requests;
+      total.pairs_evaluated += s.pairs_evaluated;
+      total.pairs_accepted += s.pairs_accepted;
+      total.pairs_filtered += s.pairs_filtered;
+    }
+    return total;
+  }
+
+ private:
   FarmerConfig cfg_;
   std::vector<std::unique_ptr<Farmer>> shards_;
 };

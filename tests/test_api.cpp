@@ -356,6 +356,104 @@ TEST(CorrelationMinerInterface, ConcurrentAdmitsBatchLargerThanMaxPending) {
   EXPECT_EQ(miner->stats().pending, 0u);
 }
 
+// The MinerStats field contract: synchronous backends report the async-only
+// fields as explicit zeros (epoch, pending, cache counters) and an empty
+// shard_epochs; the async backend fills all of them. Pinning this down keeps
+// "0" meaning "not applicable" instead of "whatever the backend left there".
+TEST(MinerStatsContract, SyncBackendsZeroAsyncOnlyFields) {
+  const MicroTrace mt = fixed_trace();
+  for (const char* backend : {"farmer", "sharded", "nexus"}) {
+    const auto miner = make_miner(backend, FarmerConfig{}, mt.dict());
+    miner->observe_batch(mt.records());
+    miner->flush();  // no-op, but the contract must hold after it too
+    const MinerStats s = miner->stats();
+    EXPECT_GT(s.requests, 0u) << backend;
+    EXPECT_EQ(s.epoch, 0u) << backend;
+    EXPECT_EQ(s.pending, 0u) << backend;
+    EXPECT_EQ(s.cache_hits, 0u) << backend;
+    EXPECT_EQ(s.cache_misses, 0u) << backend;
+    EXPECT_TRUE(s.shard_epochs.empty()) << backend;
+  }
+}
+
+TEST(MinerStatsContract, ConcurrentReportsPerShardEpochs) {
+  const MicroTrace mt = fixed_trace();
+  MinerOptions opts;
+  opts.shards = 4;
+  const auto miner = make_miner("concurrent", FarmerConfig{}, mt.dict(),
+                                opts);
+  miner->observe_batch(mt.records());
+  miner->flush();
+  const MinerStats s = miner->stats();
+  ASSERT_EQ(s.shard_epochs.size(), 4u);
+  EXPECT_GE(s.epoch, 1u);
+  // Every apply round touches only the shards its records route to, so no
+  // shard can have published more often than the global round count —
+  // and at least one shard must have published.
+  std::uint64_t max_shard = 0;
+  for (const std::uint64_t e : s.shard_epochs)
+    max_shard = std::max(max_shard, e);
+  EXPECT_GE(max_shard, 1u);
+  EXPECT_LE(max_shard, s.epoch);
+  // Cache disabled by default: counters stay zero even though queries ran.
+  (void)miner->correlators(FileId(0));
+  EXPECT_EQ(miner->stats().cache_hits, 0u);
+  EXPECT_EQ(miner->stats().cache_misses, 0u);
+}
+
+// Differential guarantee for the query cache: with caching on, every answer
+// — cold, warm, or served across epoch advances — must be byte-identical to
+// the uncached merge, under interleaved ingest/flush/query cycles. The
+// cached miner is also queried twice per file so the second read exercises
+// the hit path, not just the fill path.
+TEST(CorrelationMinerInterface, CachedAnswersEqualUncachedUnderInterleavedIngest) {
+  const Trace t = make_paper_trace(TraceKind::kHP, 31, 0.02);
+  MinerOptions opts;
+  opts.shards = 4;
+  MinerOptions cached_opts = opts;
+  cached_opts.query_cache_capacity = 256;  // small: exercises eviction too
+  const auto uncached = make_miner("concurrent", FarmerConfig{}, t.dict,
+                                   opts);
+  const auto cached = make_miner("concurrent", FarmerConfig{}, t.dict,
+                                 cached_opts);
+
+  constexpr std::size_t kChunk = 512;
+  for (std::size_t i = 0; i < t.records.size(); i += kChunk) {
+    const std::size_t n = std::min(kChunk, t.records.size() - i);
+    const std::span<const TraceRecord> chunk(&t.records[i], n);
+    uncached->observe_batch(chunk);
+    cached->observe_batch(chunk);
+    uncached->flush();
+    cached->flush();
+    // Mid-stream queries: warm the cache, then compare the hit against the
+    // uncached merge at the same published state.
+    for (std::uint32_t f = 0; f < t.file_count(); f += 7) {
+      (void)cached->correlators(FileId(f));  // fill (or revalidate)
+      const auto lc = cached->correlators(FileId(f));
+      const auto lu = uncached->correlators(FileId(f));
+      ASSERT_EQ(lc.size(), lu.size()) << "file " << f << " at record " << i;
+      for (std::size_t k = 0; k < lc.size(); ++k) {
+        EXPECT_EQ(lc[k].file, lu[k].file) << "file " << f << " slot " << k;
+        EXPECT_EQ(lc[k].degree, lu[k].degree)
+            << "file " << f << " slot " << k;
+      }
+    }
+  }
+  const MinerStats sc = cached->stats();
+  EXPECT_GT(sc.cache_hits, 0u);   // the hit path really ran
+  EXPECT_GT(sc.cache_misses, 0u); // so did fills/invalidations
+  // And the final state still matches the synchronous reference.
+  const auto sharded = make_miner("sharded", FarmerConfig{}, t.dict, opts);
+  sharded->observe_batch(t.records);
+  for (std::uint32_t f = 0; f < t.file_count(); ++f) {
+    const auto lc = cached->correlators(FileId(f));
+    const auto ls = sharded->correlators(FileId(f));
+    ASSERT_EQ(lc.size(), ls.size()) << "file " << f;
+    for (std::size_t k = 0; k < lc.size(); ++k)
+      EXPECT_EQ(lc[k].degree, ls[k].degree) << "file " << f << " slot " << k;
+  }
+}
+
 TEST(CorrelationMinerInterface, NexusIsSequenceOnly) {
   const MicroTrace mt = fixed_trace();
   const auto nexus = make_miner("nexus", FarmerConfig{}, mt.dict());

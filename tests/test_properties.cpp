@@ -48,8 +48,9 @@ TEST_P(FarmerConfigSweep, CorrelatorInvariantsHold) {
       EXPECT_GE(list[i].degree, static_cast<float>(max_strength) - 1e-4f)
           << "file " << f;
       EXPECT_NE(list[i].file, FileId(f));  // no self-correlation
-      if (i > 0)  // sorted descending
+      if (i > 0) {  // sorted descending
         EXPECT_GE(list[i - 1].degree, list[i].degree);
+      }
     }
   }
   EXPECT_GT(model.footprint_bytes(), 0u);
@@ -115,7 +116,9 @@ TEST_P(ReplaySweep, AccountingIdentitiesHold) {
   EXPECT_LE(r.hit_ratio(), 1.0);
   EXPECT_GE(r.prefetch_accuracy(), 0.0);
   EXPECT_LE(r.prefetch_accuracy(), 1.0);
-  if (degree == 0) EXPECT_EQ(r.cache.prefetch_inserted, 0u);
+  if (degree == 0) {
+    EXPECT_EQ(r.cache.prefetch_inserted, 0u);
+  }
 }
 
 INSTANTIATE_TEST_SUITE_P(
@@ -269,9 +272,10 @@ TEST(ConcurrentMinerStress, SnapshotsConsistentWhileProducersIngest) {
           EXPECT_GE(snap.view[i].degree,
                     static_cast<float>(cfg.max_strength) - 1e-4f)
               << "torn/filtered degree surfaced";
-          if (i > 0)
+          if (i > 0) {
             EXPECT_GE(snap.view[i - 1].degree, snap.view[i].degree)
                 << "snapshot not sorted";
+          }
         }
       }
     });
@@ -289,6 +293,75 @@ TEST(ConcurrentMinerStress, SnapshotsConsistentWhileProducersIngest) {
   EXPECT_EQ(s.pending, 0u);
   EXPECT_GE(miner.epoch(), 1u);
   EXPECT_EQ(s.epoch, miner.epoch());
+}
+
+// The Correlator-List cache sits on the reader path, so it must uphold the
+// same invariants under concurrent ingest: hits and misses alike may only
+// surface sorted, capped, self-free, threshold-passing lists, and epochs
+// stay monotone per reader. This variant runs under the ThreadSanitizer CI
+// tier (ConcurrentMinerStress.* filter), racing the cache's stripe locks
+// and lazy invalidation against the drain's RCU publishes.
+TEST(ConcurrentMinerStress, CachedSnapshotsConsistentWhileProducersIngest) {
+  const Trace& t = small_hp();
+  const FarmerConfig cfg;
+  constexpr std::size_t kProducers = 4;
+  ConcurrentFarmer miner(cfg, t.dict, /*shards=*/4,
+                         /*ingest_queues=*/kProducers,
+                         ConcurrentFarmer::kDefaultMaxPending,
+                         /*query_cache_capacity=*/128);
+
+  const auto parts = testing::partition_by_process(t.records, kProducers);
+
+  std::atomic<bool> done{false};
+  std::vector<std::thread> readers;
+  for (int rdr = 0; rdr < 2; ++rdr) {
+    readers.emplace_back([&, rdr] {
+      Rng rng(static_cast<std::uint64_t>(400 + rdr));
+      std::uint64_t last_epoch = 0;
+      while (!done.load(std::memory_order_acquire)) {
+        // Small id range: readers collide on hot entries, exercising
+        // hit/invalidate/refill races rather than a cold-miss parade.
+        const FileId f(static_cast<std::uint32_t>(
+            rng.next_below(std::min<std::uint64_t>(t.file_count(), 64))));
+        const EpochSnapshot snap = miner.epoch_snapshot(f);
+        EXPECT_GE(snap.epoch, last_epoch) << "epoch went backwards";
+        last_epoch = snap.epoch;
+        ASSERT_LE(snap.view.size(), cfg.correlator_capacity);
+        for (std::size_t i = 0; i < snap.view.size(); ++i) {
+          EXPECT_NE(snap.view[i].file, f) << "self-correlation";
+          EXPECT_GE(snap.view[i].degree,
+                    static_cast<float>(cfg.max_strength) - 1e-4f)
+              << "torn/filtered degree surfaced";
+          if (i > 0) {
+            EXPECT_GE(snap.view[i - 1].degree, snap.view[i].degree)
+                << "snapshot not sorted";
+          }
+        }
+      }
+    });
+  }
+
+  testing::replay_partitioned(miner, parts, /*chunk=*/32);
+  miner.flush();
+  done.store(true, std::memory_order_release);
+  for (auto& r : readers) r.join();
+
+  const MinerStats s = miner.stats();
+  EXPECT_EQ(s.requests, t.records.size());
+  EXPECT_EQ(s.pending, 0u);
+  // The readers really went through the cache.
+  EXPECT_GT(s.cache_hits + s.cache_misses, 0u);
+  // After the final flush, a cached answer must equal a fresh merge.
+  for (std::uint32_t f = 0; f < std::min<std::uint32_t>(t.file_count(), 64);
+       ++f) {
+    const auto warm = miner.correlators(FileId(f));
+    const auto again = miner.correlators(FileId(f));
+    ASSERT_EQ(warm.size(), again.size()) << "file " << f;
+    for (std::size_t i = 0; i < warm.size(); ++i) {
+      EXPECT_EQ(warm[i].file, again[i].file);
+      EXPECT_EQ(warm[i].degree, again[i].degree);
+    }
+  }
 }
 
 // An owning snapshot cut before further ingest must never change, and
