@@ -1,24 +1,31 @@
-// Ingest throughput under concurrent producers, and query latency under
-// mixed ingest + multi-reader load.
+// Ingest throughput under concurrent producers, query latency under mixed
+// ingest + multi-reader load, and the copy-on-write publish-cost profile.
 //
 // FARMER's premise is mining live metadata-server request streams, so the
-// numbers that matter at peta-scale are (a) sustained ingest records/s and
-// (b) Correlator-List query latency while ingest never stops. This bench
-// reports both:
+// numbers that matter at peta-scale are (a) sustained ingest records/s,
+// (b) Correlator-List query latency while ingest never stops, and (c) what
+// one snapshot publication costs the drain. This bench reports all three:
 //
 //   1. Pure ingest: the HP trace replayed into the "concurrent" backend
 //      from 1/2/4/8 producer threads (records partitioned by process,
 //      256-record batches), wall-clock throughput including the final
 //      flush(), with the synchronous "sharded" observe_batch() path as the
-//      0-producer baseline.
-//   2. Mixed ingest + N readers: 4 producers replay the trace while N
-//      reader threads hammer snapshot() on Zipf-distributed hot files.
-//      Three query paths are compared: the pre-RCU design (every query
-//      behind one shared_mutex, resurrected locally as LockedShardedMiner —
-//      exactly PR 2's drain-path locking), the RCU-published shard-table
-//      path, and RCU plus the epoch-validated Correlator-List cache. The
-//      acceptance bar is query p50 improving with 4+ readers vs. the
-//      shared_mutex baseline while ingest throughput holds.
+//      0-producer baseline and a publish-coalescing variant showing fewer
+//      table swaps for the same stream.
+//   2. Publish cost vs dirty-set size: a single shard seeded with
+//      FARMER_BENCH_FILES files (default 100k), then ingest rounds drawing
+//      a Zipf(1.2) hot set. Each round is published twice — once through
+//      the COW share export (what the concurrent backend does) and once
+//      through the whole-shard deep copy it replaced — so the speedup and
+//      the dirty-set scaling are measured side by side on identical state.
+//   3. Mixed ingest + N readers: 4 producers replay the trace while N
+//      reader threads hammer snapshot() on Zipf-distributed hot files,
+//      across the pre-RCU shared_mutex baseline, the RCU shard-table path,
+//      RCU + correlator cache, and RCU + coalesced publishes.
+//
+// `--json` replaces the human tables with one machine-readable JSON
+// document (scripts/bench_to_json.py validates/normalizes it into the
+// committed BENCH_ingest.json baseline).
 #include "bench_util.hpp"
 
 #include <atomic>
@@ -189,25 +196,152 @@ MixedResult mixed_replay(CorrelationMiner& miner,
   return out;
 }
 
+// ------------------------------------------------- publish-cost workload --
+
+/// A synthetic single-shard workload: `files` files with File-ID attributes
+/// (no paths), token pools sized like a small serving cluster. The point is
+/// a large node/state table with a small Zipf-hot dirty set per round.
+struct PublishWorkload {
+  std::shared_ptr<TraceDictionary> dict;
+  std::vector<TraceRecord> seed;  ///< one access per file, id order
+  TokenId hot_user, hot_proc, hot_host;
+
+  explicit PublishWorkload(std::size_t files) {
+    dict = std::make_shared<TraceDictionary>();
+    const TokenId dev = dict->tokens.intern("dev0");
+    std::vector<TokenId> users, procs, hosts;
+    for (int i = 0; i < 8; ++i)
+      users.push_back(dict->tokens.intern("user" + std::to_string(i)));
+    for (int i = 0; i < 32; ++i)
+      procs.push_back(dict->tokens.intern("pid" + std::to_string(i)));
+    for (int i = 0; i < 4; ++i)
+      hosts.push_back(dict->tokens.intern("host" + std::to_string(i)));
+    hot_user = users[0];
+    hot_proc = procs[0];
+    hot_host = hosts[0];
+    dict->files.reserve(files);
+    seed.reserve(files);
+    for (std::size_t f = 0; f < files; ++f) {
+      FileMeta meta;
+      meta.dev = dev;
+      meta.fid = dict->tokens.intern("fid" + std::to_string(f));
+      meta.size_bytes = 4096;
+      dict->files.push_back(meta);
+      seed.push_back(record_for(FileId(static_cast<std::uint32_t>(f)),
+                                users[f % users.size()],
+                                procs[f % procs.size()],
+                                hosts[f % hosts.size()]));
+    }
+  }
+
+  [[nodiscard]] TraceRecord record_for(FileId f, TokenId user, TokenId proc,
+                                       TokenId host) const {
+    TraceRecord r;
+    r.file = f;
+    r.user = UserId(0);
+    r.process = ProcessId(0);
+    r.host = HostId(0);
+    r.user_token = user;
+    r.process_token = proc;
+    r.host_token = host;
+    r.dev_token = dict->files[f.value()].dev;
+    r.fid_token = dict->files[f.value()].fid;
+    r.program_token = proc;
+    r.size_bytes = 4096;
+    return r;
+  }
+
+  /// `count` Zipf(skew)-hot records over the file population.
+  [[nodiscard]] std::vector<TraceRecord> hot_batch(std::size_t count,
+                                                   double skew,
+                                                   Rng& rng) const {
+    const ZipfRejection zipf(dict->files.size(), skew);
+    std::vector<TraceRecord> batch;
+    batch.reserve(count);
+    for (std::size_t i = 0; i < count; ++i) {
+      const auto f = static_cast<std::uint32_t>(zipf.sample(rng));
+      batch.push_back(record_for(FileId(f), hot_user, hot_proc, hot_host));
+    }
+    return batch;
+  }
+};
+
+/// Per-publish cost of the COW share export vs the whole-shard deep copy,
+/// on identical live state, for one dirty-set size.
+struct PublishCostRow {
+  std::size_t dirty_records = 0;
+  double blocks_cloned_per_round = 0.0;
+  double ingest_us = 0.0;
+  double cow_publish_us = 0.0;
+  double deep_publish_us = 0.0;
+};
+
+PublishCostRow measure_publish_cost(Farmer& live, const PublishWorkload& wl,
+                                    std::size_t dirty_records,
+                                    std::size_t rounds, Rng& rng) {
+  PublishCostRow row;
+  row.dirty_records = dirty_records;
+  const std::uint64_t clones_before = live.cow_clones();
+  double cow_ns = 0.0, deep_ns = 0.0, ingest_ns = 0.0;
+  // Hold each round's snapshot until the next one exists, like the RCU
+  // table does: consecutive publishes share untouched blocks.
+  std::shared_ptr<const Farmer> held;
+  for (std::size_t r = 0; r < rounds; ++r) {
+    const auto batch = wl.hot_batch(dirty_records, /*skew=*/1.2, rng);
+    const auto i0 = std::chrono::steady_clock::now();
+    live.observe_batch(batch);
+    const auto i1 = std::chrono::steady_clock::now();
+    ingest_ns += std::chrono::duration<double, std::nano>(i1 - i0).count();
+
+    const auto c0 = std::chrono::steady_clock::now();
+    auto snap = std::make_shared<const Farmer>(CowShare{}, live);
+    const auto c1 = std::chrono::steady_clock::now();
+    cow_ns += std::chrono::duration<double, std::nano>(c1 - c0).count();
+    held = std::move(snap);
+
+    // The deep copy the COW export replaced, timed on the same state. Only
+    // a few reps: at 100k files one deep copy costs what thousands of COW
+    // exports do, and the value barely varies.
+    if (r < 3) {
+      const auto d0 = std::chrono::steady_clock::now();
+      const auto deep = std::make_shared<const Farmer>(live);
+      const auto d1 = std::chrono::steady_clock::now();
+      deep_ns += std::chrono::duration<double, std::nano>(d1 - d0).count();
+    }
+  }
+  const auto deep_reps = std::min<std::size_t>(rounds, 3);
+  row.blocks_cloned_per_round =
+      static_cast<double>(live.cow_clones() - clones_before) /
+      static_cast<double>(rounds);
+  row.ingest_us = ingest_ns / 1e3 / static_cast<double>(rounds);
+  row.cow_publish_us = cow_ns / 1e3 / static_cast<double>(rounds);
+  row.deep_publish_us =
+      deep_reps ? deep_ns / 1e3 / static_cast<double>(deep_reps) : 0.0;
+  return row;
+}
+
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using namespace farmer;
   using namespace farmer::bench;
 
-  print_experiment_header(
-      std::cout, "Ingest throughput",
-      "concurrent-producer trace replay into the \"concurrent\" backend "
-      "(HP trace, 256-record batches, throughput includes flush)",
-      "throughput should not collapse as producers grow: enqueue is "
-      "lock-free, the drain applies batches through the sharded miner");
+  const bool json = json_output_requested(argc, argv);
+  if (!json)
+    print_experiment_header(
+        std::cout, "Ingest throughput",
+        "concurrent-producer trace replay into the \"concurrent\" backend "
+        "(HP trace, 256-record batches, throughput includes flush)",
+        "throughput should not collapse as producers grow: enqueue is "
+        "lock-free, the drain applies batches through the sharded miner and "
+        "publishes copy-on-write snapshots");
 
   const Trace& trace = paper_trace(TraceKind::kHP);
   const FarmerConfig cfg = fpa_config(trace);
   MinerOptions opts = miner_options();
 
-  Table table({"producers", "backend", "records", "seconds", "records/s",
-               "epochs"});
+  Table ingest({"producers", "backend", "records", "seconds", "records/s",
+                "publishes"});
 
   // Baseline: synchronous sharded ingest on the caller's thread.
   {
@@ -216,11 +350,12 @@ int main() {
     sharded->observe_batch(trace.records);
     const auto end = std::chrono::steady_clock::now();
     const double secs = std::chrono::duration<double>(end - start).count();
-    table.add_row({"0 (sync)", "sharded",
-                   std::to_string(trace.records.size()), fmt_double(secs, 3),
-                   fmt_double(static_cast<double>(trace.records.size()) / secs,
-                              0),
-                   "-"});
+    ingest.add_row({"0 (sync)", "sharded",
+                    std::to_string(trace.records.size()), fmt_double(secs, 3),
+                    fmt_double(static_cast<double>(trace.records.size()) /
+                                   secs,
+                               0),
+                    "-"});
   }
 
   for (const std::size_t producers : {1u, 2u, 4u, 8u}) {
@@ -229,16 +364,67 @@ int main() {
     const auto parts = partition_by_process(trace, producers);
     const double secs = concurrent_replay(*miner, parts);
     const MinerStats s = miner->stats();
-    table.add_row({std::to_string(producers), "concurrent",
-                   std::to_string(s.requests), fmt_double(secs, 3),
-                   fmt_double(static_cast<double>(s.requests) / secs, 0),
-                   std::to_string(s.epoch)});
+    ingest.add_row({std::to_string(producers), "concurrent",
+                    std::to_string(s.requests), fmt_double(secs, 3),
+                    fmt_double(static_cast<double>(s.requests) / secs, 0),
+                    std::to_string(s.publishes)});
   }
-  table.print(std::cout);
+  // Publish coalescing: same stream, same producers, one table swap per
+  // >= 8192 applied records (or the staleness deadline) instead of one per
+  // drain round.
+  {
+    MinerOptions coalesced = opts;
+    coalesced.ingest_threads = 4;
+    coalesced.publish_interval_records = 8192;
+    const auto miner = make_miner("concurrent", cfg, trace.dict, coalesced);
+    const auto parts = partition_by_process(trace, 4);
+    const double secs = concurrent_replay(*miner, parts);
+    const MinerStats s = miner->stats();
+    ingest.add_row({"4 (coalesced)", "concurrent",
+                    std::to_string(s.requests), fmt_double(secs, 3),
+                    fmt_double(static_cast<double>(s.requests) / secs, 0),
+                    std::to_string(s.publishes)});
+  }
+  if (!json) ingest.print(std::cout);
+
+  // ---------------------------------------------------- publish-cost scan --
+  std::size_t publish_files = 100000;
+  env_size_into("FARMER_BENCH_FILES", publish_files,
+                /*max_value=*/1u << 24);
+  if (!json)
+    std::cout << "\nPer-publish cost, COW share vs whole-shard deep copy ("
+              << publish_files << "-file shard, Zipf(1.2) dirty set, "
+              << "averages per publish round):\n\n";
+  Table publish({"dirty records", "blocks cloned/round", "ingest us",
+                 "cow publish us", "deep-copy publish us", "speedup"});
+  {
+    FarmerConfig pcfg;
+    pcfg.attributes = AttributeMask::all_with_fileid();
+    const PublishWorkload wl(publish_files);
+    Farmer live(pcfg, wl.dict);
+    live.observe_batch(wl.seed);
+    Rng rng(0xC0117);
+    for (const std::size_t dirty : {16u, 256u, 4096u}) {
+      const auto row =
+          measure_publish_cost(live, wl, dirty, /*rounds=*/8, rng);
+      publish.add_row(
+          {std::to_string(row.dirty_records),
+           fmt_double(row.blocks_cloned_per_round, 0),
+           fmt_double(row.ingest_us, 1), fmt_double(row.cow_publish_us, 1),
+           fmt_double(row.deep_publish_us, 1),
+           fmt_double(row.cow_publish_us > 0.0
+                          ? row.deep_publish_us / row.cow_publish_us
+                          : 0.0,
+                      1) +
+               "x"});
+    }
+  }
+  if (!json) publish.print(std::cout);
 
   // ---------------------------------------------- mixed ingest + readers --
-  std::cout << "\nMixed ingest + N readers (4 producers, Zipf(1.1) hot "
-               "queries, latencies in ns):\n\n";
+  if (!json)
+    std::cout << "\nMixed ingest + N readers (4 producers, Zipf(1.1) hot "
+                 "queries, latencies in ns):\n\n";
   constexpr std::size_t kProducers = 4;
   const auto parts = partition_by_process(trace, kProducers);
   const auto file_count =
@@ -246,33 +432,41 @@ int main() {
 
   Table mixed({"query path", "readers", "ingest rec/s", "queries", "q p50",
                "q p95", "q p99", "cache hit%"});
+  const auto add_mixed_row = [&](const char* label, std::size_t readers,
+                                 const MixedResult& r, double hit_pct,
+                                 bool have_hits) {
+    mixed.add_row(
+        {label, std::to_string(readers),
+         fmt_double(static_cast<double>(trace.records.size()) / r.ingest_secs,
+                    0),
+         std::to_string(r.queries), std::to_string(r.latency_ns.p50()),
+         std::to_string(r.latency_ns.p95()),
+         std::to_string(r.latency_ns.p99()),
+         have_hits ? fmt_double(hit_pct, 1) : std::string("-")});
+  };
   for (const std::size_t readers : {4u, 8u}) {
     {
       LockedShardedMiner locked(cfg, trace.dict, opts.shards);
       const MixedResult r = mixed_replay(locked, parts, readers, file_count);
-      mixed.add_row(
-          {"shared_mutex (pre-RCU)", std::to_string(readers),
-           fmt_double(static_cast<double>(trace.records.size()) /
-                          r.ingest_secs,
-                      0),
-           std::to_string(r.queries), std::to_string(r.latency_ns.p50()),
-           std::to_string(r.latency_ns.p95()),
-           std::to_string(r.latency_ns.p99()), "-"});
+      add_mixed_row("shared_mutex (pre-RCU)", readers, r, 0.0, false);
     }
     {
       MinerOptions rcu = opts;
       rcu.ingest_threads = kProducers;
       rcu.query_cache_capacity = 0;
+      rcu.publish_interval_records = 0;
       const auto miner = make_miner("concurrent", cfg, trace.dict, rcu);
       const MixedResult r = mixed_replay(*miner, parts, readers, file_count);
-      mixed.add_row(
-          {"RCU shard-table", std::to_string(readers),
-           fmt_double(static_cast<double>(trace.records.size()) /
-                          r.ingest_secs,
-                      0),
-           std::to_string(r.queries), std::to_string(r.latency_ns.p50()),
-           std::to_string(r.latency_ns.p95()),
-           std::to_string(r.latency_ns.p99()), "-"});
+      add_mixed_row("RCU shard-table", readers, r, 0.0, false);
+    }
+    {
+      MinerOptions coal = opts;
+      coal.ingest_threads = kProducers;
+      coal.query_cache_capacity = 0;
+      coal.publish_interval_records = 8192;
+      const auto miner = make_miner("concurrent", cfg, trace.dict, coal);
+      const MixedResult r = mixed_replay(*miner, parts, readers, file_count);
+      add_mixed_row("RCU + coalesced publish", readers, r, 0.0, false);
     }
     {
       MinerOptions cached = opts;
@@ -286,16 +480,23 @@ int main() {
               ? 100.0 * static_cast<double>(s.cache_hits) /
                     static_cast<double>(s.cache_hits + s.cache_misses)
               : 0.0;
-      mixed.add_row(
-          {"RCU + correlator cache", std::to_string(readers),
-           fmt_double(static_cast<double>(trace.records.size()) /
-                          r.ingest_secs,
-                      0),
-           std::to_string(r.queries), std::to_string(r.latency_ns.p50()),
-           std::to_string(r.latency_ns.p95()),
-           std::to_string(r.latency_ns.p99()), fmt_double(hit_pct, 1)});
+      add_mixed_row("RCU + correlator cache", readers, r, hit_pct, true);
     }
   }
+
+  if (json) {
+    std::cout << "{\"bench\": \"bench_ingest_throughput\", \"scale\": "
+              << bench_scale() << ", \"publish_files\": " << publish_files
+              << ", \"tables\": [";
+    ingest.print_json(std::cout, "pure_ingest");
+    std::cout << ", ";
+    publish.print_json(std::cout, "publish_cost");
+    std::cout << ", ";
+    mixed.print_json(std::cout, "mixed_ingest_readers");
+    std::cout << "]}\n";
+    return 0;
+  }
+
   mixed.print(std::cout);
 
   std::cout << "\nNote: FARMER_SHARDS (default 4) sets the mining "
@@ -303,10 +504,12 @@ int main() {
                "machine's cores measure queueing, not mining. The mixed "
                "table fixes 4 producers and varies reader threads; "
                "\"shared_mutex (pre-RCU)\" reproduces the PR-2 drain-path "
-               "locking that the RCU shard-table replaced. The cache row "
-               "trades a stripe-lock handshake for the merge: on this "
-               "synthetic scale the 4-shard merge is already ~100 ns, so "
-               "its win is the avoided merge CPU (see hit%), growing with "
-               "shard count and Correlator-List length.\n";
+               "locking that the RCU shard-table replaced, and the "
+               "coalesced row trades publish frequency (bounded by "
+               "FARMER_PUBLISH_MAX_DELAY_MS staleness) for fewer table "
+               "swaps. The publish-cost table is the copy-on-write story: "
+               "the deep-copy column scales with the whole shard, the COW "
+               "column with the dirty set (ingest us carries the clone "
+               "cost, paid once per touched file per publish window).\n";
   return 0;
 }

@@ -28,14 +28,42 @@ namespace farmer::bench {
 
 /// Experiment scale: fraction of the full synthetic volume. Chosen so the
 /// whole bench suite completes in minutes on a laptop while keeping every
-/// trace large enough for stable ratios.
+/// trace large enough for stable ratios. FARMER_BENCH_SCALE overrides it
+/// (the CI bench-smoke job runs the suite at a tiny scale).
 inline constexpr double kScale = 0.25;
+
+/// Parses a positive double env var into `out`; exits on garbage so a typo
+/// never silently benchmarks the default.
+inline void env_fraction_into(const char* var, double& out) {
+  const char* s = std::getenv(var);
+  if (!s || !*s) return;
+  char* end = nullptr;
+  errno = 0;
+  const double v = std::strtod(s, &end);
+  if (end == s || *end != '\0' || errno == ERANGE || !(v > 0.0) || v > 1.0) {
+    std::cerr << "invalid " << var << " \"" << s
+              << "\": expected a fraction in (0, 1]\n";
+    std::exit(2);
+  }
+  out = v;
+}
+
+inline double bench_scale() {
+  static const double scale = [] {
+    double s = kScale;
+    env_fraction_into("FARMER_BENCH_SCALE", s);
+    return s;
+  }();
+  return scale;
+}
 
 inline const Trace& paper_trace(TraceKind kind) {
   static std::map<TraceKind, Trace> cache;
   auto it = cache.find(kind);
   if (it == cache.end())
-    it = cache.emplace(kind, make_paper_trace(kind, kExperimentSeed, kScale))
+    it = cache
+             .emplace(kind,
+                      make_paper_trace(kind, kExperimentSeed, bench_scale()))
              .first;
   return it->second;
 }
@@ -59,6 +87,11 @@ inline FarmerConfig fpa_config(const Trace& trace) {
 ///                                Correlator-List cache entries)
 ///   FARMER_MAX_PENDING=<n>      (default backend, "concurrent" ingest
 ///                                backpressure bound in records)
+///   FARMER_PUBLISH_INTERVAL=<n> (default 0/1 = publish every drain round,
+///                                "concurrent" publish-coalescing interval
+///                                in applied records)
+///   FARMER_PUBLISH_MAX_DELAY_MS=<n> (default backend = 4 ms, staleness
+///                                bound for coalesced publishes)
 /// so ablations over the backend are a flag, not a recompile. The README's
 /// configuration table is the authoritative reference for these knobs.
 inline const char* miner_backend() {
@@ -94,7 +127,21 @@ inline MinerOptions miner_options() {
                 /*max_value=*/1u << 24);
   env_size_into("FARMER_MAX_PENDING", opts.max_pending,
                 /*max_value=*/1u << 30);
+  env_size_into("FARMER_PUBLISH_INTERVAL", opts.publish_interval_records,
+                /*max_value=*/1u << 30);
+  env_size_into("FARMER_PUBLISH_MAX_DELAY_MS", opts.publish_max_delay_ms,
+                /*max_value=*/60000);
   return opts;
+}
+
+/// True when argv carries `--json`: the bench emits one machine-readable
+/// JSON document on stdout (scripts/bench_to_json.py normalizes and
+/// validates it into the committed BENCH_*.json baselines) instead of the
+/// human tables.
+inline bool json_output_requested(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i)
+    if (std::string_view(argv[i]) == "--json") return true;
+  return false;
 }
 
 /// Miner for the selected backend (validated through the factory). The

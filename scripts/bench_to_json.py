@@ -1,0 +1,162 @@
+#!/usr/bin/env python3
+"""Run/validate the benches' --json output and write a normalized baseline.
+
+The repo tracks performance per PR through committed JSON baselines
+(BENCH_ingest.json today). This tool is the one producer of those files and
+the one validator CI's bench-smoke job runs, so a malformed --json emitter
+can never slip into a baseline unnoticed.
+
+Usage:
+    # Run a bench binary with --json, validate, pretty-write the baseline:
+    scripts/bench_to_json.py --run build/bench_ingest_throughput \
+        --out BENCH_ingest.json
+
+    # Validate JSON already produced (a file or stdin via "-"):
+    build/bench_ingest_throughput --json | scripts/bench_to_json.py -
+    build/bench_micro --json | scripts/bench_to_json.py --google-benchmark -
+
+Exit status: 0 on valid output, 2 on malformed/empty JSON or a failed run.
+Stdlib only — no pip dependencies.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import subprocess
+import sys
+
+
+def fail(msg: str) -> "NoReturn":  # noqa: F821 (py3.8-friendly annotation)
+    print(f"bench_to_json: {msg}", file=sys.stderr)
+    raise SystemExit(2)
+
+
+def validate_table_document(doc: object) -> None:
+    """Schema of the table benches' --json output (bench_ingest_throughput)."""
+    if not isinstance(doc, dict):
+        fail(f"top level must be an object, got {type(doc).__name__}")
+    for key in ("bench", "tables"):
+        if key not in doc:
+            fail(f"missing required key {key!r}")
+    if not isinstance(doc["bench"], str) or not doc["bench"]:
+        fail("'bench' must be a non-empty string")
+    tables = doc["tables"]
+    if not isinstance(tables, list) or not tables:
+        fail("'tables' must be a non-empty array")
+    for i, table in enumerate(tables):
+        where = f"tables[{i}]"
+        if not isinstance(table, dict):
+            fail(f"{where} must be an object")
+        for key in ("name", "columns", "rows"):
+            if key not in table:
+                fail(f"{where} missing {key!r}")
+        columns = table["columns"]
+        if not isinstance(columns, list) or not all(
+            isinstance(c, str) for c in columns
+        ):
+            fail(f"{where}.columns must be an array of strings")
+        rows = table["rows"]
+        if not isinstance(rows, list):
+            fail(f"{where}.rows must be an array")
+        for j, row in enumerate(rows):
+            if not isinstance(row, list) or len(row) != len(columns):
+                fail(
+                    f"{where}.rows[{j}] must be an array of "
+                    f"{len(columns)} cells"
+                )
+            if not all(isinstance(cell, str) for cell in row):
+                fail(f"{where}.rows[{j}] cells must all be strings")
+
+
+def validate_google_benchmark_document(doc: object) -> None:
+    """Schema of google-benchmark's --benchmark_format=json (bench_micro)."""
+    if not isinstance(doc, dict):
+        fail(f"top level must be an object, got {type(doc).__name__}")
+    if "benchmarks" not in doc or not isinstance(doc["benchmarks"], list):
+        fail("missing 'benchmarks' array (is this --benchmark_format=json?)")
+    if not doc["benchmarks"]:
+        fail("'benchmarks' is empty — no benchmark ran")
+    for i, bench in enumerate(doc["benchmarks"]):
+        if not isinstance(bench, dict) or "name" not in bench:
+            fail(f"benchmarks[{i}] must be an object with a 'name'")
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    source = parser.add_mutually_exclusive_group(required=True)
+    source.add_argument(
+        "--run",
+        metavar="BINARY",
+        help="bench binary to execute with --json (plus --extra-arg flags)",
+    )
+    source.add_argument(
+        "input",
+        nargs="?",
+        metavar="FILE",
+        help="existing JSON to validate ('-' = stdin)",
+    )
+    parser.add_argument(
+        "--extra-arg",
+        action="append",
+        default=[],
+        help="additional argv for --run (repeatable)",
+    )
+    parser.add_argument(
+        "--google-benchmark",
+        action="store_true",
+        help="validate google-benchmark JSON instead of the table schema",
+    )
+    parser.add_argument(
+        "--out",
+        metavar="PATH",
+        help="write the validated document, pretty-printed (the committed "
+        "baseline format); omit to validate only",
+    )
+    args = parser.parse_args()
+
+    if args.run:
+        cmd = [args.run, "--json", *args.extra_arg]
+        try:
+            proc = subprocess.run(
+                cmd, capture_output=True, text=True, check=False
+            )
+        except OSError as e:
+            fail(f"cannot execute {cmd[0]}: {e}")
+        if proc.returncode != 0:
+            sys.stderr.write(proc.stderr)
+            fail(f"{' '.join(cmd)} exited with {proc.returncode}")
+        raw = proc.stdout
+    elif args.input == "-":
+        raw = sys.stdin.read()
+    else:
+        try:
+            with open(args.input, "r", encoding="utf-8") as f:
+                raw = f.read()
+        except OSError as e:
+            fail(str(e))
+
+    if not raw.strip():
+        fail("no JSON on input (did the bench print tables instead?)")
+    try:
+        doc = json.loads(raw)
+    except json.JSONDecodeError as e:
+        fail(f"malformed JSON: {e}")
+
+    if args.google_benchmark:
+        validate_google_benchmark_document(doc)
+    else:
+        validate_table_document(doc)
+
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as f:
+            json.dump(doc, f, indent=2, sort_keys=False)
+            f.write("\n")
+        print(f"bench_to_json: wrote {args.out}", file=sys.stderr)
+    else:
+        print("bench_to_json: OK", file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

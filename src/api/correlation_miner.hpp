@@ -37,10 +37,12 @@ namespace farmer {
 ///     queued, no query cache exists. Zero here *means* "not applicable",
 ///     by contract (MinerStatsContract tests pin this down).
 ///   * Asynchronous backends (concurrent): `requests`/`pairs_*` count
-///     *published* records (enqueued-but-unapplied records appear in
+///     *published* records (enqueued-but-unpublished records appear in
 ///     `pending` instead), `epoch` is the global publish round,
-///     `shard_epochs[s]` is shard s's publish count, and the cache counters
-///     are live (all zero when the cache is disabled).
+///     `shard_epochs[s]` is shard s's publish count, the cache counters are
+///     live (all zero when the cache is disabled), and the publish counters
+///     (`publishes`, `files_cloned`, `bytes_shared`) account the
+///     copy-on-write snapshot pipeline.
 struct MinerStats {
   std::uint64_t requests = 0;         ///< observe() calls ingested
   std::uint64_t pairs_evaluated = 0;  ///< CoMiner R(x,y) evaluations
@@ -49,8 +51,25 @@ struct MinerStats {
   std::size_t shards = 1;             ///< parallel mining partitions
   std::uint64_t epoch = 0;   ///< published apply rounds (async backends; 0 =
                              ///< synchronous, state is always current)
-  std::uint64_t pending = 0; ///< records accepted but not yet applied (async
-                             ///< backends; always 0 after flush())
+  std::uint64_t pending = 0; ///< records accepted but not yet published —
+                             ///< invisible to queries (async backends;
+                             ///< always 0 after flush())
+  std::uint64_t publishes = 0;  ///< shard-table publications; with publish
+                                ///< coalescing one publication can cover
+                                ///< many drain rounds (== epoch on the
+                                ///< concurrent backend, 0 = synchronous)
+  std::uint64_t files_cloned = 0;  ///< COW blocks copied because a published
+                                   ///< snapshot still shared them, cumulative
+                                   ///< over all publishes (async backends).
+                                   ///< A dirtied file clones up to two
+                                   ///< blocks — graph node and semantic
+                                   ///< state — so this bounds the dirty
+                                   ///< file count from above, ≤ 2x over
+  std::uint64_t bytes_shared = 0;  ///< inline block bytes publishes reused
+                                   ///< structurally instead of deep-copying
+                                   ///< (async backends; heap spill of shared
+                                   ///< blocks is additional savings not
+                                   ///< counted here)
   std::uint64_t cache_hits = 0;    ///< Correlator-List cache hits (async
                                    ///< backends with the cache enabled)
   std::uint64_t cache_misses = 0;  ///< lookups that had to re-merge: cold,

@@ -58,13 +58,16 @@ Registry& registry() {
     built_in["concurrent"] = [](const FarmerConfig& cfg,
                                 std::shared_ptr<const TraceDictionary> dict,
                                 const MinerOptions& opts) {
-      // max_pending == 0 means "backend default"; the constructor resolves
-      // it so direct and factory construction cannot diverge.
+      // max_pending / publish_max_delay_ms == 0 mean "backend default"; the
+      // constructor resolves them so direct and factory construction cannot
+      // diverge.
       return std::make_unique<ConcurrentFarmer>(cfg, std::move(dict),
                                                 opts.shards,
                                                 opts.ingest_threads,
                                                 opts.max_pending,
-                                                opts.query_cache_capacity);
+                                                opts.query_cache_capacity,
+                                                opts.publish_interval_records,
+                                                opts.publish_max_delay_ms);
     };
     return built_in;
   }();

@@ -41,6 +41,20 @@ struct MinerOptions {
   /// Ignored by synchronous backends (their snapshot() is already a
   /// zero-copy borrow or a single-merge). Env: FARMER_QUERY_CACHE.
   std::size_t query_cache_capacity = 0;
+  /// Publish coalescing for the "concurrent" backend: the drain batches
+  /// apply rounds and publishes a new shard table only once at least this
+  /// many records have been applied since the last publication, or the
+  /// staleness deadline below expires. flush() stays a strict barrier: a
+  /// waiting flush forces the publish as soon as the queues run dry.
+  /// 0 or 1 = publish after every apply round (the uncoalesced reference
+  /// behavior). Env: FARMER_PUBLISH_INTERVAL.
+  std::size_t publish_interval_records = 0;
+  /// Staleness bound for coalesced publishes, in milliseconds: applied
+  /// records become queryable at most this much later (plus scheduling),
+  /// busy or idle, even when the record interval has not been reached.
+  /// Only meaningful with publish_interval_records > 1; 0 = backend
+  /// default (4 ms). Env: FARMER_PUBLISH_MAX_DELAY_MS.
+  std::size_t publish_max_delay_ms = 0;
 };
 
 using MinerFactoryFn = std::function<std::unique_ptr<CorrelationMiner>(

@@ -1,6 +1,6 @@
 #include "core/concurrent_farmer.hpp"
 
-#include <chrono>
+#include <algorithm>
 #include <functional>
 #include <iterator>
 #include <utility>
@@ -12,22 +12,37 @@ ConcurrentFarmer::ConcurrentFarmer(FarmerConfig cfg,
                                    std::size_t shards,
                                    std::size_t ingest_queues,
                                    std::size_t max_pending,
-                                   std::size_t query_cache_capacity)
+                                   std::size_t query_cache_capacity,
+                                   std::size_t publish_interval_records,
+                                   std::size_t publish_max_delay_ms)
     : inner_(std::make_unique<ShardedFarmer>(cfg, std::move(dict), shards)),
       correlator_capacity_(cfg.correlator_capacity),
       max_pending_(max_pending == 0 ? kDefaultMaxPending : max_pending),
+      publish_interval_(publish_interval_records),
+      publish_max_delay_(publish_max_delay_ms == 0
+                             ? std::chrono::steady_clock::duration(
+                                   kDefaultPublishMaxDelay)
+                             : std::chrono::milliseconds(
+                                   publish_max_delay_ms)),
       cache_(query_cache_capacity) {
   const std::size_t slots = ingest_queues == 0 ? 1 : ingest_queues;
   queues_.reserve(slots);
   for (std::size_t i = 0; i < slots; ++i)
     queues_.push_back(std::make_unique<MpscQueue<Batch>>());
 
+  touched_since_publish_.assign(inner_->shard_count(), 0);
+  publish_baseline_.assign(inner_->shard_count(), {0, 0});
+  last_publish_ = std::chrono::steady_clock::now();
+
   // Publish the epoch-0 table (snapshots of the empty shards) before the
   // drain starts, so a query can never observe a null table.
   auto initial = std::make_shared<ShardTable>();
   initial->shards.reserve(inner_->shard_count());
-  for (std::size_t s = 0; s < inner_->shard_count(); ++s)
+  for (std::size_t s = 0; s < inner_->shard_count(); ++s) {
     initial->shards.push_back(inner_->export_shard_snapshot(s));
+    const auto acct = inner_->shard_cow_accounting(s);
+    publish_baseline_[s] = {acct[0].mutations, acct[1].mutations};
+  }
   initial->shard_epochs.assign(inner_->shard_count(), 0);
   initial->stats.shards = inner_->shard_count();
   table_.store(std::move(initial));
@@ -55,18 +70,22 @@ void ConcurrentFarmer::enqueue(Batch batch) {
   // Soft backpressure: a stalled drain must not let queued records balloon.
   // Yield-spin rather than lock so the fast path stays lock-free. A batch
   // larger than max_pending_ is admitted once the drain has fully caught up
-  // (pending_ == 0) — blocking it outright could never unblock — so the
-  // bound is max(max_pending_, largest single batch).
+  // (queued_ == 0) — blocking it outright could never unblock — so the
+  // bound is max(max_pending_, largest single batch). The bound covers
+  // queue memory only: records the drain already applied but has not yet
+  // published (coalescing backlog) live inside the miner, not the queues.
   while (true) {
-    const std::size_t pending = pending_.load(std::memory_order_acquire);
-    if (pending == 0 || pending + n <= max_pending_ ||
+    const std::size_t queued = queued_.load(std::memory_order_acquire);
+    if (queued == 0 || queued + n <= max_pending_ ||
         stop_.load(std::memory_order_acquire))
       break;
     std::this_thread::yield();
   }
-  // pending_ grows before the push: pending_ == 0 therefore proves every
-  // accepted record has been applied, even inside the MPSC visibility window.
+  // Both counters grow before the push: queued_ == 0 therefore proves every
+  // accepted record has been applied, even inside the MPSC visibility
+  // window, and pending_ == 0 proves it has also been published.
   pending_.fetch_add(n, std::memory_order_release);
+  queued_.fetch_add(n, std::memory_order_release);
   enqueued_total_.fetch_add(n, std::memory_order_release);
   queues_[slot_of_this_thread()]->push(std::move(batch));
   if (drain_idle_.load(std::memory_order_acquire)) {
@@ -85,13 +104,19 @@ void ConcurrentFarmer::observe_batch(std::span<const TraceRecord> records) {
 
 void ConcurrentFarmer::flush() {
   const std::uint64_t target = enqueued_total_.load(std::memory_order_acquire);
-  std::unique_lock<std::mutex> lk(wake_mu_);
-  wake_cv_.notify_one();
-  // applied_total_ is bumped only *after* the table swap, so reaching the
-  // target proves the published table reflects every accepted record.
-  drained_cv_.wait(lk, [&] {
-    return applied_total_.load(std::memory_order_acquire) >= target;
-  });
+  // Announce the waiter first: a drain holding a coalesced backlog must
+  // publish for us even when the record interval has not been reached.
+  flush_waiters_.fetch_add(1, std::memory_order_release);
+  {
+    std::unique_lock<std::mutex> lk(wake_mu_);
+    wake_cv_.notify_one();
+    // published_total_ is bumped only *after* the table swap, so reaching
+    // the target proves the published table reflects every accepted record.
+    drained_cv_.wait(lk, [&] {
+      return published_total_.load(std::memory_order_acquire) >= target;
+    });
+  }
+  flush_waiters_.fetch_sub(1, std::memory_order_release);
 }
 
 std::size_t ConcurrentFarmer::collect(Batch& into) {
@@ -107,40 +132,81 @@ std::size_t ConcurrentFarmer::collect(Batch& into) {
   return total;
 }
 
-void ConcurrentFarmer::publish(const Batch& batch) {
-  // Which shards did this round touch? Only those need fresh snapshots;
-  // untouched shards share their snapshot with the previous table.
-  std::vector<std::uint8_t> touched(inner_->shard_count(), 0);
-  for (const TraceRecord& r : batch) touched[inner_->shard_of(r)] = 1;
+bool ConcurrentFarmer::publish_due() const {
+  if (publish_interval_ <= 1 || unpublished_ >= publish_interval_)
+    return true;
+  return std::chrono::steady_clock::now() - last_publish_ >=
+         publish_max_delay_;
+}
+
+void ConcurrentFarmer::publish_pending() {
+  if (unpublished_ == 0) return;
 
   const std::shared_ptr<const ShardTable> cur = table_.load();
   auto next = std::make_shared<ShardTable>();
   next->shards = cur->shards;
   next->shard_epochs = cur->shard_epochs;
-  for (std::size_t s = 0; s < touched.size(); ++s) {
-    if (!touched[s]) continue;
+  std::uint64_t files_cloned = 0;
+  for (std::size_t s = 0; s < touched_since_publish_.size(); ++s) {
+    // files_cloned is cumulative over every shard whether or not it is
+    // republished this round (clones happen at write time, publishes only
+    // harvest the count).
+    files_cloned += inner_->shard(s).cow_clones();
+    if (!touched_since_publish_[s]) continue;
+    // COW export: O(pages) pointer copies; the blocks this window dirtied
+    // were already cloned by the live side at write time. Everything the
+    // mutation deltas did NOT touch is structurally shared — account it.
+    const auto acct = inner_->shard_cow_accounting(s);
+    for (std::size_t st = 0; st < acct.size(); ++st) {
+      const std::uint64_t mutated =
+          acct[st].mutations - publish_baseline_[s][st];
+      const std::uint64_t shared_blocks =
+          acct[st].blocks > mutated ? acct[st].blocks - mutated : 0;
+      bytes_shared_total_ +=
+          shared_blocks * static_cast<std::uint64_t>(acct[st].block_bytes);
+      publish_baseline_[s][st] = acct[st].mutations;
+    }
     next->shards[s] = inner_->export_shard_snapshot(s);
     ++next->shard_epochs[s];
+    touched_since_publish_[s] = 0;
   }
   next->epoch = cur->epoch + 1;
   next->stats = inner_->stats();  // includes shards = shard_count()
+  next->stats.publishes = ++publishes_total_;
+  next->stats.files_cloned = files_cloned;
+  next->stats.bytes_shared = bytes_shared_total_;
   table_.store(std::move(next));
-}
+  last_publish_ = std::chrono::steady_clock::now();
 
-void ConcurrentFarmer::apply(const Batch& batch) {
-  // The drain owns inner_ exclusively: no lock is needed to mutate it, and
-  // readers only ever see the immutable table published below.
-  inner_->observe_batch(batch);
-  publish(batch);
-  // Counter order matters: applied_total_ (the flush() predicate) and
+  // Counter order matters: published_total_ (the flush() predicate) and
   // pending_ shrink only after the swap, so neither flush() nor stats()
-  // can observe "applied" records that are not yet queryable.
-  pending_.fetch_sub(batch.size(), std::memory_order_release);
-  applied_total_.fetch_add(batch.size(), std::memory_order_release);
+  // can observe "published" records that are not yet queryable.
+  pending_.fetch_sub(unpublished_, std::memory_order_release);
+  published_total_.fetch_add(unpublished_, std::memory_order_release);
+  unpublished_ = 0;
   {
     std::lock_guard<std::mutex> lk(wake_mu_);
     drained_cv_.notify_all();
   }
+}
+
+void ConcurrentFarmer::apply(const Batch& batch) {
+  // The drain owns inner_ exclusively: no lock is needed to mutate it, and
+  // readers only ever see the immutable table published by
+  // publish_pending().
+  inner_->observe_batch(batch);
+  for (const TraceRecord& r : batch)
+    touched_since_publish_[inner_->shard_of(r)] = 1;
+  unpublished_ += batch.size();
+  // Queue memory is released as soon as the records are applied; visibility
+  // (pending_) waits for the publish.
+  queued_.fetch_sub(batch.size(), std::memory_order_release);
+  // A waiting flush() overrides the coalescing interval here too — under
+  // sustained ingest the queues may never run dry, and the barrier must
+  // not stall until the staleness deadline when its records are already
+  // applied.
+  if (publish_due() || flush_waiters_.load(std::memory_order_acquire) > 0)
+    publish_pending();
 }
 
 void ConcurrentFarmer::drain_loop() {
@@ -152,8 +218,16 @@ void ConcurrentFarmer::drain_loop() {
       apply(buf);
       continue;
     }
+    // Queues are dry. A coalesced backlog is held back until the record
+    // interval fills, but never past the staleness deadline — and a
+    // waiting flush() overrides the interval entirely, so the barrier
+    // completes as soon as the queues empty.
+    if (unpublished_ > 0 &&
+        (publish_due() ||
+         flush_waiters_.load(std::memory_order_acquire) > 0))
+      publish_pending();
     if (stop_.load(std::memory_order_acquire)) break;
-    if (pending_.load(std::memory_order_acquire) > 0) {
+    if (queued_.load(std::memory_order_acquire) > 0) {
       // A push is mid-flight in the MPSC visibility window; retry shortly.
       std::this_thread::yield();
       continue;
@@ -162,10 +236,13 @@ void ConcurrentFarmer::drain_loop() {
     drain_idle_.store(true, std::memory_order_release);
     // Timed wait: the idle-flag handshake has a benign race (a producer can
     // read drain_idle_ == false just before we set it); the predicate plus
-    // the timeout make a lost notify cost at most one period, never a hang.
+    // the timeout make a lost notify cost at most one period, never a hang
+    // — and the period doubles as the backlog's deadline-poll granularity.
     wake_cv_.wait_for(lk, 1ms, [&] {
       return stop_.load(std::memory_order_acquire) ||
-             pending_.load(std::memory_order_acquire) > 0;
+             queued_.load(std::memory_order_acquire) > 0 ||
+             (unpublished_ > 0 &&
+              flush_waiters_.load(std::memory_order_acquire) > 0);
     });
     drain_idle_.store(false, std::memory_order_release);
   }
@@ -175,6 +252,7 @@ void ConcurrentFarmer::drain_loop() {
     if (collect(buf) == 0) break;
     apply(buf);
   }
+  publish_pending();
 }
 
 std::vector<Correlator> ConcurrentFarmer::cached_correlators(
@@ -184,7 +262,8 @@ std::vector<Correlator> ConcurrentFarmer::cached_correlators(
                                              correlator_capacity_);
   // A shard with no recorded access of f cannot hold (and can never have
   // held) a Correlator List for it, so "still absent" certifies the shard
-  // is still a non-contributor.
+  // is still a non-contributor. The probe reads the published snapshot's
+  // COW node index — O(1) regardless of sharing.
   const auto still_absent = [&](std::size_t s) {
     return t.shards[s]->access_count(f) == 0;
   };
@@ -250,15 +329,17 @@ MinerStats ConcurrentFarmer::stats() const {
 
 std::size_t ConcurrentFarmer::footprint_bytes() const noexcept {
   // Readers may not touch inner_ (drain-owned); account the published
-  // snapshots, which mirror the live state one-to-one, and double them to
-  // cover the drain's mutable copy. Between publishes the two sides differ
-  // by at most the pending records, which are counted separately.
+  // snapshots, which structurally share every untouched per-file block with
+  // the live state, and double them to cover the live mirror. With COW that
+  // is an upper bound — real residency is one copy of shared blocks plus
+  // the cloned dirty deltas — but it stays the honest worst case a reader
+  // can compute without touching drain-owned state.
   const auto t = table();
   std::size_t snapshots = 0;
   for (const auto& s : t->shards) snapshots += s->footprint_bytes();
   return sizeof(*this) + 2 * snapshots +
          queues_.size() * sizeof(MpscQueue<Batch>) + cache_.footprint_bytes() +
-         pending_.load(std::memory_order_acquire) * sizeof(TraceRecord);
+         queued_.load(std::memory_order_acquire) * sizeof(TraceRecord);
 }
 
 }  // namespace farmer

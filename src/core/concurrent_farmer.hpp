@@ -4,9 +4,9 @@
 // `ConcurrentFarmer` decouples the two halves of that problem:
 //
 //   producers ──push──▶ per-slot MpscQueues ──drain thread──▶ ShardedFarmer
-//                                                 │ per-shard snapshot export
+//                                                 │ COW shard snapshot export
 //   readers ◀── RCU shard-table (atomic shared_ptr swap) ◀── publish
-//        │
+//        │                                        (coalesced across rounds)
 //        └── epoch-validated Correlator-List cache (hot queries)
 //
 // * Ingest is lock-free for callers: `observe()`/`observe_batch()` route to
@@ -16,14 +16,27 @@
 //   cross-thread interleaving is whatever the drain observes — the standard
 //   relaxed guarantee of a concurrent ingest path.
 // * The live ShardedFarmer is owned *exclusively* by the drain thread —
-//   no query ever touches it. After applying a batch the drain exports an
-//   immutable deep-copy snapshot of every shard the batch touched
-//   (Farmer's copy constructor) and publishes a new `ShardTable` — the
+//   no query ever touches it. After applying batches the drain exports an
+//   immutable *copy-on-write* snapshot of every shard touched since the
+//   last publication (Farmer's CowShare constructor: per-file blocks are
+//   structurally shared; only files the round dirtied were cloned, by the
+//   live side, at write time) and publishes a new `ShardTable` — the
 //   shared_ptr array of current shard snapshots plus per-shard publish
 //   epochs — with one atomic shared_ptr swap. This is RCU: readers load
 //   the table pointer (acquire), query immutable state, and drop their
 //   reference; reclamation is shared_ptr reference counting. Readers never
-//   take a lock and never retry; writers never wait for readers.
+//   take a lock and never retry; writers never wait for readers. Publish
+//   cost is O(dirty files) + O(pages), not O(shard state).
+// * Publication is *coalesced* under load: with
+//   `publish_interval_records` > 1 the drain batches apply rounds and swaps
+//   a new table only when that many records have been applied since the
+//   last swap or the `publish_max_delay` staleness deadline expires —
+//   including while idle, where the timed idle wait doubles as the
+//   deadline poll, so applied state is never stale past the deadline.
+//   Between publishes queries simply read the previous table. flush() is
+//   unaffected: a waiting flush overrides the interval and forces the
+//   publish as soon as the queues run dry, so it still returns only after
+//   a publish covering every accepted record.
 // * Queries merge the per-shard snapshot lists with the *same* static
 //   helpers ShardedFarmer uses live (merged_correlators & friends), which
 //   is what keeps flush()-then-query byte-identical to the "sharded"
@@ -37,18 +50,22 @@
 // is what makes the backend differentially testable — a single-threaded
 // replay followed by flush() is byte-identical to the synchronous "sharded"
 // backend, because each queue preserves FIFO order and shard state only
-// depends on the per-shard record order.
+// depends on the per-shard record order (coalescing changes when tables
+// appear, never what the final table contains).
 //
 // Memory is bounded by `max_pending`: producers soft-block (yield-spin) once
-// that many records are queued but unapplied, so a stalled drain cannot
-// balloon the process. A single batch larger than the bound is admitted
-// once the drain has caught up (refusing it could never unblock), so the
-// effective bound is max(max_pending, largest single batch). The published
-// snapshots add roughly one live-state replica: the drain holds the mutable
-// mirror, readers hold the immutable one (see footprint_bytes()).
+// that many records are queued but not yet applied, so a stalled drain
+// cannot balloon the process. A single batch larger than the bound is
+// admitted once the drain has caught up (refusing it could never unblock),
+// so the effective bound is max(max_pending, largest single batch). The
+// published snapshots structurally share all non-dirty per-file state with
+// the drain's live mirror, so steady-state memory is roughly one live state
+// plus the dirty deltas readers still hold (see footprint_bytes()).
 #pragma once
 
+#include <array>
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <memory>
@@ -75,12 +92,16 @@ class ConcurrentFarmer final : public CorrelationMiner {
  public:
   /// Producers blocked beyond this many queued-but-unapplied records.
   static constexpr std::size_t kDefaultMaxPending = std::size_t{1} << 20;
+  /// Staleness deadline for coalesced publishes when none is configured.
+  static constexpr std::chrono::milliseconds kDefaultPublishMaxDelay{4};
 
   ConcurrentFarmer(FarmerConfig cfg,
                    std::shared_ptr<const TraceDictionary> dict,
                    std::size_t shards, std::size_t ingest_queues,
                    std::size_t max_pending = kDefaultMaxPending,
-                   std::size_t query_cache_capacity = 0);
+                   std::size_t query_cache_capacity = 0,
+                   std::size_t publish_interval_records = 0,
+                   std::size_t publish_max_delay_ms = 0);
   ~ConcurrentFarmer() override;
 
   ConcurrentFarmer(const ConcurrentFarmer&) = delete;
@@ -100,6 +121,9 @@ class ConcurrentFarmer final : public CorrelationMiner {
 
   /// Blocks until everything accepted before the call has been applied and
   /// published; afterwards every query answers from state that includes it.
+  /// Coalescing never weakens this barrier: while a flush() waits, the
+  /// drain publishes after every apply round and again the moment the
+  /// queues run dry, interval or not.
   void flush() override;
 
   /// Owning snapshot of `f`'s merged Correlator List at the current epoch.
@@ -118,8 +142,10 @@ class ConcurrentFarmer final : public CorrelationMiner {
                                         FileId succ) const override;
 
   /// Published sharded stats plus `epoch`, `pending`, per-shard
-  /// `shard_epochs` and the cache hit/miss counters. `requests` counts
-  /// *published* records; enqueued-but-unapplied records are `pending`.
+  /// `shard_epochs`, the cache hit/miss counters and the COW publish
+  /// counters (`publishes`, `files_cloned`, `bytes_shared`). `requests`
+  /// counts *published* records; enqueued-but-unpublished records are
+  /// `pending`.
   [[nodiscard]] MinerStats stats() const override;
   [[nodiscard]] std::size_t footprint_bytes() const noexcept override;
   [[nodiscard]] const char* name() const noexcept override {
@@ -144,7 +170,9 @@ class ConcurrentFarmer final : public CorrelationMiner {
   /// The RCU-published immutable view of mined state: one snapshot per
   /// shard plus that shard's publish count. A table is never mutated after
   /// the atomic swap; shard snapshots are shared between consecutive tables
-  /// when the shard was not touched by the round.
+  /// when the shard was not touched since the previous publish — and the
+  /// snapshots themselves structurally share every untouched per-file block
+  /// with the live shard (COW export).
   struct ShardTable {
     std::vector<std::shared_ptr<const Farmer>> shards;
     std::vector<std::uint64_t> shard_epochs;
@@ -159,7 +187,13 @@ class ConcurrentFarmer final : public CorrelationMiner {
   /// preserving per-queue order. Returns the number of records collected.
   std::size_t collect(Batch& into);
   void apply(const Batch& batch);
-  void publish(const Batch& batch);
+  /// True when the coalescing policy says the applied-but-unpublished
+  /// backlog must be published now (interval reached or deadline expired).
+  [[nodiscard]] bool publish_due() const;
+  /// Publishes the backlog: exports COW snapshots of every shard touched
+  /// since the last publish, swaps the table, releases flush() waiters.
+  /// No-op when nothing is unpublished.
+  void publish_pending();
 
   /// Borrow the current table (one atomic shared_ptr load, acquire).
   [[nodiscard]] std::shared_ptr<const ShardTable> table() const {
@@ -175,21 +209,45 @@ class ConcurrentFarmer final : public CorrelationMiner {
   const std::size_t correlator_capacity_;
   std::vector<std::unique_ptr<MpscQueue<Batch>>> queues_;
   const std::size_t max_pending_;
+  const std::size_t publish_interval_;
+  const std::chrono::steady_clock::duration publish_max_delay_;
 
-  /// RCU head: swapped (release) by the drain after every apply round,
+  /// RCU head: swapped (release) by the drain at every publish,
   /// loaded (acquire) by every query.
   AtomicSharedPtr<const ShardTable> table_;
 
   mutable CorrelatorCache cache_;
 
-  /// Records enqueued but not yet applied. Incremented before the queue push
-  /// so `pending_ == 0` proves the drain has caught up with every accepted
-  /// record (the MPSC visibility window cannot under-count).
+  /// Records enqueued but not yet *published* (visible to queries); the
+  /// stats() `pending` field. Shrinks only at the table swap so a reader
+  /// can never observe "caught up" state that is not yet queryable.
   std::atomic<std::size_t> pending_{0};
+  /// Records enqueued but not yet *applied* to the live miner — the queue
+  /// memory the backpressure bound protects. Incremented before the queue
+  /// push so `queued_ == 0` proves the drain has drained every accepted
+  /// record out of the queues (the MPSC visibility window cannot
+  /// under-count).
+  std::atomic<std::size_t> queued_{0};
   std::atomic<std::uint64_t> enqueued_total_{0};
-  std::atomic<std::uint64_t> applied_total_{0};
+  std::atomic<std::uint64_t> published_total_{0};
+  /// Threads currently inside flush(): a nonzero count makes the drain
+  /// publish after every apply round and on dry queues, interval or not —
+  /// flush() is a strict barrier, coalescing only shapes steady state.
+  std::atomic<std::uint32_t> flush_waiters_{0};
   std::atomic<bool> stop_{false};
   std::atomic<bool> drain_idle_{false};
+
+  // Drain-thread-local publish state (touched only by the drain after
+  // construction): the coalescing backlog and the COW accounting baseline.
+  std::vector<std::uint8_t> touched_since_publish_;
+  std::size_t unpublished_ = 0;
+  std::chrono::steady_clock::time_point last_publish_;
+  /// Per shard, per store ([0] graph nodes, [1] semantic state): cumulative
+  /// COW mutations at this shard's previous publish — the delta is the
+  /// blocks the round actually copied, everything else was shared.
+  std::vector<std::array<std::uint64_t, 2>> publish_baseline_;
+  std::uint64_t bytes_shared_total_ = 0;
+  std::uint64_t publishes_total_ = 0;
 
   /// Wakes the drain thread (producers) and flush() waiters (drain thread).
   std::mutex wake_mu_;

@@ -14,41 +14,62 @@ Farmer::Farmer(FarmerConfig cfg, std::shared_ptr<const TraceDictionary> dict)
 Farmer::Farmer(const Farmer& other)
     : cfg_(other.cfg_),
       extractor_(other.extractor_),
-      graph_(other.graph_),
+      graph_(other.graph_),  // deep: CowBlockStore's copy duplicates blocks
       // Rebind the miner to *this* copy's config and graph; a defaulted
       // member copy would keep referencing the source's.
       miner_(cfg_, graph_, other.miner_.stats()),
       window_(other.window_),
-      vectors_(other.vectors_),
-      signatures_(other.signatures_),
-      has_state_(other.has_state_),
-      requests_(other.requests_) {}
+      state_(other.state_),
+      requests_(other.requests_) {
+  // Not carried over: the deep copy's containers are allocated exact-size,
+  // so the source's memoized footprint (which includes capacity slack)
+  // would misreport this object. First call recomputes.
+}
 
-void Farmer::ensure_file_state(FileId f) {
-  const auto i = static_cast<std::size_t>(f.value());
-  if (i >= vectors_.size()) {
-    vectors_.resize(i + 1);
-    signatures_.resize(i + 1);
-    has_state_.resize(i + 1, 0);
-  }
+Farmer::Farmer(CowShare, Farmer& other)
+    : cfg_(other.cfg_),
+      extractor_(other.extractor_),
+      graph_(CowShare{}, other.graph_),
+      miner_(cfg_, graph_, other.miner_.stats()),
+      window_(other.window_),
+      state_(other.state_.share()),
+      requests_(other.requests_) {
+  // The snapshot answers queries identically to the live side right now, so
+  // a memoized footprint carries over; kFootprintDirty just defers the walk
+  // to the snapshot's first footprint_bytes() call.
+  footprint_cache_.store(
+      other.footprint_cache_.load(std::memory_order_relaxed),
+      std::memory_order_relaxed);
 }
 
 void Farmer::observe(const TraceRecord& rec) {
   ++requests_;
+  footprint_cache_.store(kFootprintDirty, std::memory_order_relaxed);
+  observe_impl(rec);
+}
+
+void Farmer::observe_batch(std::span<const TraceRecord> records) {
+  if (records.empty()) return;
+  // One bookkeeping update for the whole span; the pipeline itself is the
+  // same per-record code, so batch == serial byte-for-byte.
+  requests_ += records.size();
+  footprint_cache_.store(kFootprintDirty, std::memory_order_relaxed);
+  for (const TraceRecord& r : records) observe_impl(r);
+}
+
+void Farmer::observe_impl(const TraceRecord& rec) {
   const FileId file = rec.file;
-  ensure_file_state(file);
 
   // Stage 1 — Extracting. The stored vector/signature always reflect the
-  // most recent request context of the file.
-  SemanticVector& sv = vectors_[file.value()];
-  extractor_.extract(rec, sv);
-  signatures_[file.value()] =
-      build_signature(sv, cfg_.attributes, cfg_.path_mode);
-  has_state_[file.value()] = 1;
+  // most recent request context of the file. mutate() is the COW write
+  // gate: the file's block is cloned here iff a snapshot still shares it.
+  FileState& st = state_.mutate(static_cast<std::size_t>(file.value()));
+  extractor_.extract(rec, st.vec);
+  st.sig = build_signature(st.vec, cfg_.attributes, cfg_.path_mode);
 
   // Stage 2 — Constructing: N_file and LDA-weighted N_{pred,file} updates.
   graph_.record_access(file);
-  const Signature& file_sig = signatures_[file.value()];
+  const Signature& file_sig = st.sig;
 
   // Refresh the *frequency* component of `file`'s Correlator List: N_file
   // just grew, so F(file, succ) = N_AB / N_file shrank for every listed
@@ -87,39 +108,45 @@ void Farmer::observe(const TraceRecord& rec) {
     // Stages 3 + 4 — Mining & Evaluating, then Sorting: only pairs touched
     // by this request are (re-)evaluated; the Correlator List insert keeps
     // the list ordered.
-    if (has_state_[pred.value()])
-      miner_.evaluate_pair(pred, signatures_[pred.value()], file, file_sig);
+    if (const FileState* ps = state_of(pred))
+      miner_.evaluate_pair(pred, ps->sig, file, file_sig);
   });
   window_.push(file);
 }
 
 double Farmer::semantic_similarity(FileId a, FileId b) const {
-  const auto ia = static_cast<std::size_t>(a.value());
-  const auto ib = static_cast<std::size_t>(b.value());
-  if (ia >= has_state_.size() || ib >= has_state_.size() || !has_state_[ia] ||
-      !has_state_[ib])
-    return 0.0;
-  return similarity(signatures_[ia], signatures_[ib]);
+  const FileState* sa = state_of(a);
+  const FileState* sb = state_of(b);
+  if (!sa || !sb) return 0.0;
+  return similarity(sa->sig, sb->sig);
 }
 
 double Farmer::correlation_degree(FileId a, FileId b) const {
-  const auto ia = static_cast<std::size_t>(a.value());
-  const auto ib = static_cast<std::size_t>(b.value());
-  if (ia >= has_state_.size() || ib >= has_state_.size() || !has_state_[ia] ||
-      !has_state_[ib])
-    return 0.0;
-  return miner_.correlation_degree(a, signatures_[ia], b, signatures_[ib]);
+  const FileState* sa = state_of(a);
+  const FileState* sb = state_of(b);
+  if (!sa || !sb) return 0.0;
+  return miner_.correlation_degree(a, sa->sig, b, sb->sig);
 }
 
 std::size_t Farmer::footprint_bytes() const noexcept {
+  const std::size_t cached = footprint_cache_.load(std::memory_order_relaxed);
+  if (cached != kFootprintDirty) return cached;
   std::size_t bytes = graph_.footprint_bytes();
-  bytes += vectors_.capacity() * sizeof(SemanticVector);
-  bytes += signatures_.capacity() * sizeof(Signature);
-  bytes += has_state_.capacity();
-  for (const auto& v : vectors_) bytes += v.path_components.heap_bytes();
-  for (const auto& s : signatures_)
-    bytes += s.items.heap_bytes() + s.path_sorted.heap_bytes();
+  bytes += state_.footprint_bytes([](const FileState& st) {
+    return st.vec.path_components.heap_bytes() + st.sig.items.heap_bytes() +
+           st.sig.path_sorted.heap_bytes();
+  });
+  footprint_cache_.store(bytes, std::memory_order_relaxed);
   return bytes;
+}
+
+std::array<CowStoreAccounting, 2> Farmer::cow_accounting() const noexcept {
+  const CowStoreStats& g = graph_.cow_stats();
+  const CowStoreStats& s = state_.stats();
+  return {CowStoreAccounting{g.blocks, g.mutations(), g.clones,
+                             CorrelationGraph::node_block_bytes()},
+          CowStoreAccounting{s.blocks, s.mutations(), s.clones,
+                             StateStore::block_inline_bytes()}};
 }
 
 }  // namespace farmer

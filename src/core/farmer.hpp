@@ -10,12 +10,22 @@
 // request"). Correlator Lists are the public product, consumed through the
 // `CorrelationMiner` interface by the prefetcher (Section 4.1), the layout
 // optimizer (Section 4.2) and policy propagation (Section 4.3).
+//
+// All per-file state — graph node (successors, Correlator List, N_f) and
+// semantic state (vector + signature) — lives in copy-on-write blocks
+// (`common/cow_store.hpp`). Snapshot publication (`CowShare` constructor)
+// therefore costs O(pages) + O(files touched since the last snapshot), not
+// O(shard size); the plain copy constructor keeps full deep-copy semantics
+// for explicit-copy callers.
 #pragma once
 
+#include <array>
+#include <atomic>
 #include <memory>
 #include <vector>
 
 #include "api/correlation_miner.hpp"
+#include "common/cow_store.hpp"
 #include "core/cominer.hpp"
 #include "core/config.hpp"
 #include "core/extractor.hpp"
@@ -25,22 +35,45 @@
 
 namespace farmer {
 
+/// Publish-side accounting of one COW store: how many blocks exist, how
+/// many write-path mutations (creates + clones) have ever happened, and the
+/// inline bytes of one block. A publisher that remembers `mutations` from
+/// the previous publish knows exactly how many blocks the round cloned and
+/// how many it structurally shared.
+struct CowStoreAccounting {
+  std::uint64_t blocks = 0;
+  std::uint64_t mutations = 0;
+  std::uint64_t clones = 0;
+  std::size_t block_bytes = 0;
+};
+
 class Farmer : public CorrelationMiner {
  public:
   Farmer(FarmerConfig cfg, std::shared_ptr<const TraceDictionary> dict);
 
-  /// Deep copy: duplicates the graph, window and per-file semantic state and
-  /// rebinds the internal CoMiner to the copy's own members. This is what
-  /// makes a Farmer usable as an immutable *shard snapshot*: the sharded
-  /// backend exports copies of its shards, the concurrent backend publishes
-  /// them RCU-style, and every const query on the copy answers exactly as
-  /// the source would have at copy time. The trace dictionary is shared
-  /// (immutable by construction).
+  /// Deep copy: duplicates the graph, window and per-file semantic state
+  /// (every COW block) and rebinds the internal CoMiner to the copy's own
+  /// members. Nothing is shared with the source, so both sides may keep
+  /// mutating freely — the explicit-copy semantics synchronous callers
+  /// expect. The trace dictionary is shared (immutable by construction).
   Farmer(const Farmer& other);
   Farmer& operator=(const Farmer&) = delete;
 
+  /// Structurally sharing snapshot copy (RCU publication path): costs
+  /// O(pages) + nothing per untouched file. Every const query on the copy
+  /// answers exactly as `other` would have at copy time; `other` stays the
+  /// live side and lazily clones the blocks it touches from here on. The
+  /// copy is meant to be frozen behind `shared_ptr<const Farmer>` — see
+  /// ShardedFarmer::export_shard_snapshot.
+  Farmer(CowShare, Farmer& other);
+
   /// Ingests one file request (all four stages).
   void observe(const TraceRecord& rec) override;
+
+  /// Batch ingest without per-record bookkeeping: one requests_ update and
+  /// one footprint invalidation for the whole span, with the same per-record
+  /// pipeline (so batch and serial ingest stay byte-identical).
+  void observe_batch(std::span<const TraceRecord> records) override;
 
   /// Sorted Correlator List of `f` (may be empty). Entries all satisfy
   /// degree >= max_strength at their last evaluation. Zero-copy fast path
@@ -92,11 +125,44 @@ class Farmer : public CorrelationMiner {
   [[nodiscard]] const char* name() const noexcept override { return "farmer"; }
 
   /// Total additional memory FARMER holds: graph + correlator lists +
-  /// per-active-file semantic state (Table 4 accounting).
+  /// per-active-file semantic state (Table 4 accounting). Memoized: the
+  /// walk over every block reruns only after ingest dirtied the state, so
+  /// repeated calls — and every call on an immutable snapshot — are O(1).
+  /// Shared COW blocks are counted in full (an upper bound while snapshots
+  /// are live).
   [[nodiscard]] std::size_t footprint_bytes() const noexcept override;
 
+  /// Per-store COW accounting ([0] = graph nodes, [1] = semantic state) for
+  /// publish-side stats: blocks, cumulative mutations, inline block bytes.
+  [[nodiscard]] std::array<CowStoreAccounting, 2> cow_accounting()
+      const noexcept;
+  /// Cumulative COW block clones across both stores — the total dirty-file
+  /// copies all snapshot publications have cost so far.
+  [[nodiscard]] std::uint64_t cow_clones() const noexcept {
+    return graph_.cow_stats().clones + state_.stats().clones;
+  }
+  /// Stable identity of f's semantic-state block (tests; see
+  /// CorrelationGraph::node_identity for the graph-side counterpart).
+  [[nodiscard]] const void* semantic_state_identity(FileId f) const noexcept {
+    return state_.block_identity(static_cast<std::size_t>(f.value()));
+  }
+
  private:
-  void ensure_file_state(FileId f);
+  /// Semantic state of one file as of its most recent access: the raw
+  /// vector and its prebuilt signature under (attributes, path_mode). Block
+  /// existence doubles as the has-state flag.
+  struct FileState {
+    SemanticVector vec;
+    Signature sig;
+  };
+  using StateStore = CowBlockStore<FileState>;
+
+  void observe_impl(const TraceRecord& rec);
+  [[nodiscard]] const FileState* state_of(FileId f) const noexcept {
+    return state_.find(static_cast<std::size_t>(f.value()));
+  }
+
+  static constexpr std::size_t kFootprintDirty = ~std::size_t{0};
 
   FarmerConfig cfg_;
   Extractor extractor_;
@@ -104,12 +170,15 @@ class Farmer : public CorrelationMiner {
   CoMiner miner_;
   AccessWindow window_;
 
-  // Per-file semantic state, dense by FileId: the vector as of the most
-  // recent access and its prebuilt signature under (attributes, path_mode).
-  std::vector<SemanticVector> vectors_;
-  std::vector<Signature> signatures_;
-  std::vector<std::uint8_t> has_state_;
+  /// Per-file semantic state, dense by FileId, in COW blocks.
+  StateStore state_;
   std::uint64_t requests_ = 0;
+
+  /// Memoized footprint_bytes(); kFootprintDirty = recompute. Atomic so
+  /// concurrent readers of one immutable snapshot may race to fill it (they
+  /// all compute the same value); the live side is single-writer by the
+  /// miner threading contract.
+  mutable std::atomic<std::size_t> footprint_cache_{kFootprintDirty};
 };
 
 }  // namespace farmer

@@ -22,6 +22,7 @@
 #pragma once
 
 #include <algorithm>
+#include <array>
 #include <memory>
 #include <span>
 #include <vector>
@@ -82,12 +83,29 @@ class ShardedFarmer final : public CorrelationMiner {
   /// republish only those snapshots.
   [[nodiscard]] std::size_t shard_of(const TraceRecord& rec) const noexcept;
 
-  /// Immutable deep copy of shard `i` for RCU publication: every const
-  /// query on the returned Farmer answers exactly as the live shard would
-  /// have at export time, and nothing can mutate it afterwards.
+  /// Immutable copy-on-write snapshot of shard `i` for RCU publication:
+  /// every const query on the returned Farmer answers exactly as the live
+  /// shard would have at export time, and nothing can mutate it afterwards
+  /// (it is frozen behind the const). The export structurally shares every
+  /// per-file block with the live shard — O(pages) pointer copies — and the
+  /// live shard clones exactly the blocks later ingest touches, so publish
+  /// cost is proportional to the dirty set, not the shard size. Non-const
+  /// because it advances the live shard's COW generation.
   [[nodiscard]] std::shared_ptr<const Farmer> export_shard_snapshot(
+      std::size_t i) {
+    return std::make_shared<const Farmer>(CowShare{}, *shards_.at(i));
+  }
+
+  /// Per-store COW accounting of shard `i` (see Farmer::cow_accounting).
+  [[nodiscard]] std::array<CowStoreAccounting, 2> shard_cow_accounting(
       std::size_t i) const {
-    return std::make_shared<const Farmer>(*shards_.at(i));
+    return shards_.at(i)->cow_accounting();
+  }
+  /// Cumulative COW block clones across every shard.
+  [[nodiscard]] std::uint64_t cow_clones() const noexcept {
+    std::uint64_t total = 0;
+    for (const auto& s : shards_) total += s->cow_clones();
+    return total;
   }
 
   // Cross-shard merge rules over any shard set — templated on the range so

@@ -14,8 +14,7 @@ CorrelationGraph::CorrelationGraph() : CorrelationGraph(Config{}) {}
 
 void CorrelationGraph::touch(FileId f) {
   assert(f.valid());
-  const auto i = static_cast<std::size_t>(f.value());
-  if (i >= nodes_.size()) nodes_.resize(i + 1);
+  nodes_.grow_to(static_cast<std::size_t>(f.value()) + 1);
 }
 
 void CorrelationGraph::record_access(FileId f) { ++at(f).access_count; }
@@ -23,8 +22,9 @@ void CorrelationGraph::record_access(FileId f) { ++at(f).access_count; }
 bool CorrelationGraph::add_transition(FileId pred, FileId succ,
                                       double weight) {
   if (weight <= 0.0 || pred == succ) return false;
-  // Grow the dense table for BOTH endpoints before taking any reference —
-  // touch() may reallocate nodes_.
+  // Register succ in the dense index before mutating pred's node (block
+  // addresses are stable, but the historical order is kept — and touch()
+  // is what gives node_count() its dense-table meaning).
   touch(succ);
   Node& node = at(pred);
   for (auto& e : node.successors) {
@@ -117,12 +117,10 @@ void CorrelationGraph::remove_correlator(FileId f, FileId succ) {
 }
 
 std::size_t CorrelationGraph::footprint_bytes() const noexcept {
-  std::size_t bytes = sizeof(*this) + nodes_.capacity() * sizeof(Node);
-  for (const auto& n : nodes_) {
-    bytes += n.successors.heap_bytes();
-    bytes += n.correlator_list.heap_bytes();
-  }
-  return bytes;
+  return sizeof(*this) - sizeof(NodeStore) +
+         nodes_.footprint_bytes([](const Node& n) {
+           return n.successors.heap_bytes() + n.correlator_list.heap_bytes();
+         });
 }
 
 }  // namespace farmer

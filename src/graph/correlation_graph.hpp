@@ -11,6 +11,13 @@
 // weight exceeds it. Bounding is what gives FARMER (and Nexus) their small
 // memory footprint; `footprint_bytes()` implements the Table-4 accounting.
 //
+// Per-file node state lives in refcounted copy-on-write blocks
+// (`common/cow_store.hpp`): a snapshot of the graph (`CowShare` constructor)
+// structurally shares every node and costs O(pages), and subsequent writes
+// clone exactly the nodes they touch. This is what makes the concurrent
+// backend's per-publish cost proportional to the dirty set instead of the
+// shard size. Copying a graph the ordinary way remains a full deep copy.
+//
 // The same structure serves as the sequence-mining substrate for both
 // FARMER's CoMiner and the Nexus baseline (which ranks successors purely by
 // N_AB).
@@ -19,6 +26,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/cow_store.hpp"
 #include "common/small_vector.hpp"
 #include "common/types.hpp"
 
@@ -46,7 +54,18 @@ class CorrelationGraph {
   CorrelationGraph();  // default Config
   explicit CorrelationGraph(Config cfg) : cfg_(cfg) {}
 
-  /// Ensures a node exists for `f`; grows the dense node table as needed.
+  /// Deep copy: every node block duplicated, nothing shared (the defaulted
+  /// members do exactly that — CowBlockStore's copy constructor is deep).
+  CorrelationGraph(const CorrelationGraph&) = default;
+  CorrelationGraph& operator=(const CorrelationGraph&) = default;
+
+  /// Structurally sharing snapshot copy: O(pages) pointer copies; `other`
+  /// stays live and clones the nodes it touches from here on. The new graph
+  /// answers every const query exactly as `other` would have at copy time.
+  CorrelationGraph(CowShare, CorrelationGraph& other)
+      : cfg_(other.cfg_), nodes_(other.nodes_.share()), edges_(other.edges_) {}
+
+  /// Ensures a node slot exists for `f`; grows the dense index as needed.
   void touch(FileId f);
 
   /// Records one access of `f` (increments N_f). Creates the node if new.
@@ -71,7 +90,9 @@ class CorrelationGraph {
   [[nodiscard]] const SmallVector<SuccessorEdge, 8>& successors(
       FileId f) const noexcept;
 
-  /// Mutable Correlator List of `f` (maintained sorted by CoMiner).
+  /// Mutable Correlator List of `f` (maintained sorted by CoMiner). Goes
+  /// through the COW write gate: the node is cloned first when a snapshot
+  /// still shares it.
   [[nodiscard]] SmallVector<Correlator, 4>& correlators(FileId f);
   [[nodiscard]] const SmallVector<Correlator, 4>& correlators(
       FileId f) const noexcept;
@@ -90,8 +111,24 @@ class CorrelationGraph {
   [[nodiscard]] std::size_t edge_count() const noexcept { return edges_; }
   [[nodiscard]] const Config& config() const noexcept { return cfg_; }
 
+  /// COW write-path counters: populated nodes, creates, clones (the clones
+  /// since the last snapshot are exactly the publish-round dirty set).
+  [[nodiscard]] const CowStoreStats& cow_stats() const noexcept {
+    return nodes_.stats();
+  }
+  /// Bytes of one node block as allocated (inline part, without heap spill).
+  [[nodiscard]] static constexpr std::size_t node_block_bytes() noexcept {
+    return NodeStore::block_inline_bytes();
+  }
+  /// Stable block identity for COW-invariant tests: equal pointers across
+  /// two graphs certify the node is structurally shared.
+  [[nodiscard]] const void* node_identity(FileId f) const noexcept {
+    return nodes_.block_identity(static_cast<std::size_t>(f.value()));
+  }
+
   /// Approximate heap + table footprint in bytes (Table 4 accounting):
-  /// node table, successor sets, correlator lists.
+  /// node index, blocks, successor sets, correlator lists. Counts shared
+  /// blocks in full (an upper bound when snapshots are live).
   [[nodiscard]] std::size_t footprint_bytes() const noexcept;
 
  private:
@@ -100,18 +137,17 @@ class CorrelationGraph {
     SmallVector<SuccessorEdge, 8> successors;
     SmallVector<Correlator, 4> correlator_list;
   };
+  using NodeStore = CowBlockStore<Node>;
 
   [[nodiscard]] const Node* find(FileId f) const noexcept {
-    const auto i = static_cast<std::size_t>(f.value());
-    return i < nodes_.size() ? &nodes_[i] : nullptr;
+    return nodes_.find(static_cast<std::size_t>(f.value()));
   }
   [[nodiscard]] Node& at(FileId f) {
-    touch(f);
-    return nodes_[f.value()];
+    return nodes_.mutate(static_cast<std::size_t>(f.value()));
   }
 
   Config cfg_;
-  std::vector<Node> nodes_;  // dense by FileId
+  NodeStore nodes_;  // dense by FileId, COW blocks
   std::size_t edges_ = 0;
 };
 

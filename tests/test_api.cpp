@@ -372,6 +372,9 @@ TEST(MinerStatsContract, SyncBackendsZeroAsyncOnlyFields) {
     EXPECT_EQ(s.pending, 0u) << backend;
     EXPECT_EQ(s.cache_hits, 0u) << backend;
     EXPECT_EQ(s.cache_misses, 0u) << backend;
+    EXPECT_EQ(s.publishes, 0u) << backend;
+    EXPECT_EQ(s.files_cloned, 0u) << backend;
+    EXPECT_EQ(s.bytes_shared, 0u) << backend;
     EXPECT_TRUE(s.shard_epochs.empty()) << backend;
   }
 }
@@ -395,6 +398,9 @@ TEST(MinerStatsContract, ConcurrentReportsPerShardEpochs) {
     max_shard = std::max(max_shard, e);
   EXPECT_GE(max_shard, 1u);
   EXPECT_LE(max_shard, s.epoch);
+  // Publish accounting is live on the async backend: every epoch is one
+  // table publication (with coalescing off by default they are identical).
+  EXPECT_EQ(s.publishes, s.epoch);
   // Cache disabled by default: counters stay zero even though queries ran.
   (void)miner->correlators(FileId(0));
   EXPECT_EQ(miner->stats().cache_hits, 0u);
