@@ -22,6 +22,12 @@
 //      reader threads hammer snapshot() on Zipf-distributed hot files,
 //      across the pre-RCU shared_mutex baseline, the RCU shard-table path,
 //      RCU + correlator cache, and RCU + coalesced publishes.
+//   4. Multi-tenant serving: a merged 2/4-tenant stream
+//      (make_multi_tenant_trace) replayed by 4 producers into one shared
+//      "concurrent" miner versus the "router" backend with one
+//      "concurrent" child per tenant (tenant map aligned to the trace's
+//      FileId ranges), with per-tenant request accounting from
+//      MinerStats::per_tenant.
 //
 // `--json` replaces the human tables with one machine-readable JSON
 // document (scripts/bench_to_json.py validates/normalizes it into the
@@ -484,6 +490,59 @@ int main(int argc, char** argv) {
     }
   }
 
+  // -------------------------------------------------- multi-tenant router --
+  // The first column is the row's identity (bench_diff matches rows by it),
+  // so it carries both the tenant count and the serving layer.
+  Table tenants_tbl({"scenario", "records", "seconds", "records/s",
+                     "per-tenant requests"});
+  {
+    const TraceKind kTenantKinds[] = {TraceKind::kHP, TraceKind::kINS,
+                                      TraceKind::kRES, TraceKind::kHP};
+    for (const std::size_t ntenants : {2u, 4u}) {
+      const std::string nt = std::to_string(ntenants);
+      const MultiTenantTrace mt = make_multi_tenant_trace(
+          std::span<const TraceKind>(kTenantKinds, ntenants),
+          kExperimentSeed, bench_scale());
+      const FarmerConfig mcfg = fpa_config(mt.trace);
+      const auto mparts = partition_by_process(mt.trace, kProducers);
+      {
+        MinerOptions shared = opts;
+        shared.ingest_threads = kProducers;
+        const auto miner = make_miner("concurrent", mcfg, mt.trace.dict,
+                                      shared);
+        const double secs = concurrent_replay(*miner, mparts);
+        const MinerStats s = miner->stats();
+        tenants_tbl.add_row(
+            {nt + "t / concurrent (shared)", std::to_string(s.requests),
+             fmt_double(secs, 3),
+             fmt_double(static_cast<double>(s.requests) / secs, 0), "-"});
+      }
+      {
+        MinerOptions ropts = opts;
+        ropts.ingest_threads = kProducers;
+        ropts.router_tenants = ntenants;
+        ropts.router_backends = "concurrent";
+        // Align the router's tenant map with the trace's ground-truth
+        // FileId ranges (tenants are not equally sized, so the default
+        // equal-range split would misroute boundary files).
+        ropts.router_tenant_of = mt.tenant_map();
+        const auto miner = make_miner("router", mcfg, mt.trace.dict, ropts);
+        const double secs = concurrent_replay(*miner, mparts);
+        const MinerStats s = miner->stats();
+        std::string per_tenant;
+        for (const MinerStats& ts : s.per_tenant) {
+          if (!per_tenant.empty()) per_tenant += "/";
+          per_tenant += std::to_string(ts.requests);
+        }
+        tenants_tbl.add_row(
+            {nt + "t / router (concurrent x" + nt + ")",
+             std::to_string(s.requests), fmt_double(secs, 3),
+             fmt_double(static_cast<double>(s.requests) / secs, 0),
+             per_tenant});
+      }
+    }
+  }
+
   if (json) {
     std::cout << "{\"bench\": \"bench_ingest_throughput\", \"scale\": "
               << bench_scale() << ", \"publish_files\": " << publish_files
@@ -493,11 +552,19 @@ int main(int argc, char** argv) {
     publish.print_json(std::cout, "publish_cost");
     std::cout << ", ";
     mixed.print_json(std::cout, "mixed_ingest_readers");
+    std::cout << ", ";
+    tenants_tbl.print_json(std::cout, "multi_tenant");
     std::cout << "]}\n";
     return 0;
   }
 
   mixed.print(std::cout);
+
+  std::cout << "\nMulti-tenant serving: merged tenant streams "
+               "(make_multi_tenant_trace), 4 producers, one shared "
+               "\"concurrent\" miner vs the \"router\" backend with one "
+               "concurrent child per tenant:\n\n";
+  tenants_tbl.print(std::cout);
 
   std::cout << "\nNote: FARMER_SHARDS (default 4) sets the mining "
                "partitions for both backends; producer counts above the "

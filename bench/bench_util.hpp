@@ -92,6 +92,10 @@ inline FarmerConfig fpa_config(const Trace& trace) {
 ///                                in applied records)
 ///   FARMER_PUBLISH_MAX_DELAY_MS=<n> (default backend = 4 ms, staleness
 ///                                bound for coalesced publishes)
+///   FARMER_ROUTER_TENANTS=<n>   (default 2, "router" tenant partitions)
+///   FARMER_ROUTER_BACKENDS=<s>  (default "farmer" everywhere, "router"
+///                                per-tenant backend spec: one name or
+///                                "0=concurrent,1=sharded,*=farmer")
 /// so ablations over the backend are a flag, not a recompile. The README's
 /// configuration table is the authoritative reference for these knobs.
 inline const char* miner_backend() {
@@ -131,6 +135,10 @@ inline MinerOptions miner_options() {
                 /*max_value=*/1u << 30);
   env_size_into("FARMER_PUBLISH_MAX_DELAY_MS", opts.publish_max_delay_ms,
                 /*max_value=*/60000);
+  env_size_into("FARMER_ROUTER_TENANTS", opts.router_tenants,
+                /*max_value=*/1024);
+  if (const char* spec = std::getenv("FARMER_ROUTER_BACKENDS"); spec && *spec)
+    opts.router_backends = spec;
   return opts;
 }
 
@@ -165,6 +173,11 @@ inline std::unique_ptr<CorrelationMiner> make_bench_miner(
       std::cerr << " (shards=" << opts.shards
                 << ", ingest_threads=" << opts.ingest_threads
                 << ", query_cache=" << opts.query_cache_capacity << ")";
+    if (std::string_view(miner->name()) == "router")
+      std::cerr << " (tenants=" << opts.router_tenants << ", backends="
+                << (opts.router_backends.empty() ? "farmer"
+                                                 : opts.router_backends)
+                << ")";
     std::cerr << "\n";
     return true;
   }();

@@ -2,11 +2,15 @@
 // the Correlator Lists FARMER produces.
 //
 //   ./quickstart [seed] [backend]
+//   ./quickstart --list-backends     # registered factory names, one/line
 //
 // Walks through the full public API surface in ~60 lines: generate a trace,
 // build a validated configuration, construct a mining backend through the
-// factory, ingest the stream, query correlations.
+// factory, ingest the stream, query correlations. `--list-backends` prints
+// the factory registry so scripts (CI's smoke loop) can exercise every
+// backend without hand-maintaining the list.
 #include <cstdlib>
+#include <cstring>
 #include <iostream>
 
 #include "analysis/table.hpp"
@@ -16,6 +20,11 @@
 
 int main(int argc, char** argv) {
   using namespace farmer;
+  if (argc > 1 && std::strcmp(argv[1], "--list-backends") == 0) {
+    for (const std::string& name : registered_miners())
+      std::cout << name << "\n";
+    return 0;
+  }
   const std::uint64_t seed =
       argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 7;
   const char* backend = argc > 2 ? argv[2] : "farmer";
@@ -36,7 +45,8 @@ int main(int argc, char** argv) {
   }
 
   // 3. The model, chosen at runtime: "farmer" (serial), "sharded"
-  //    (parallel ingest), "concurrent" (async lock-free ingest), or
+  //    (parallel ingest), "concurrent" (async lock-free ingest), "router"
+  //    (multi-tenant partitioning over factory-built children), or
   //    "nexus" (the p = 0 sequence-only baseline).
   std::unique_ptr<CorrelationMiner> model;
   try {

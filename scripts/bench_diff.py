@@ -1,0 +1,222 @@
+#!/usr/bin/env python3
+"""Diff a fresh bench --json run against a committed BENCH_*.json baseline.
+
+The repo tracks performance per PR through committed JSON baselines
+(BENCH_ingest.json). bench_to_json.py guarantees each document is
+well-formed; this tool compares two of them and turns the comparison into
+a CI gate plus a human trend table:
+
+  * Schema drift is a hard failure (exit 2): a table, column or row that
+    exists in the baseline but not in the fresh run means the bench
+    silently stopped measuring something — exactly the regression a
+    committed baseline exists to catch. A baseline-numeric cell that
+    comes back non-numeric (crash garbage, "-") fails the same way.
+    New tables/columns/rows in the fresh run are reported, not failed:
+    growth is how the baseline evolves.
+  * Metric drift prints as a per-metric trend table with relative deltas.
+    By default every metric is warn-only, because CI runs the benches at
+    a tiny FARMER_BENCH_SCALE where absolute numbers are incomparable
+    with the committed full-scale baseline.
+  * --hard REGEX promotes metrics (matched as "table:row:column") to hard
+    failures (exit 1) when |relative delta| exceeds --tolerance. Use this
+    when both documents were produced at the same scale (e.g. comparing
+    consecutive PRs' committed baselines).
+  * --hard-min TABLE:COLUMN=VALUE enforces a scale-independent floor: the
+    named column must stay >= VALUE in every row. This is the CI gate for
+    ratio metrics ("publish_cost:speedup=1.0" pins "COW publish beats the
+    deep copy it replaced" at any scale).
+
+Usage:
+    scripts/bench_diff.py --baseline BENCH_ingest.json \
+        --fresh /tmp/ingest_smoke.json --tolerance 0.5 \
+        --hard-min publish_cost:speedup=1.0
+
+Exit status: 0 OK (warnings allowed), 1 hard metric regression,
+2 schema violation / malformed input. Stdlib only — no pip dependencies.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import re
+import sys
+
+
+def fail(msg: str) -> "NoReturn":  # noqa: F821 (py3.8-friendly annotation)
+    print(f"bench_diff: SCHEMA: {msg}", file=sys.stderr)
+    raise SystemExit(2)
+
+
+def load_tables(path: str) -> "dict[str, dict]":
+    """Loads a table-bench JSON document, keyed by table name."""
+    try:
+        with open(path, "r", encoding="utf-8") as f:
+            doc = json.load(f)
+    except OSError as e:
+        fail(f"cannot read {path}: {e}")
+    except json.JSONDecodeError as e:
+        fail(f"malformed JSON in {path}: {e}")
+    if not isinstance(doc, dict) or not isinstance(doc.get("tables"), list):
+        fail(f"{path}: not a table-bench document (missing 'tables')")
+    tables = {}
+    for i, table in enumerate(doc["tables"]):
+        if not isinstance(table, dict) or "name" not in table:
+            fail(f"{path}: tables[{i}] has no name")
+        for key in ("columns", "rows"):
+            if not isinstance(table.get(key), list):
+                fail(f"{path}: table {table['name']!r} missing {key!r}")
+        tables[table["name"]] = table
+    if not tables:
+        fail(f"{path}: no tables")
+    return tables
+
+
+NUMBER = re.compile(r"^-?\d+(?:\.\d+)?(?:[x%])?$")
+
+
+def parse_cell(cell: str) -> "float | None":
+    """Numeric value of a cell, tolerating the benches' 'x'/'%' suffixes."""
+    cell = cell.strip().replace(",", "")
+    if not NUMBER.match(cell):
+        return None
+    return float(cell.rstrip("x%"))
+
+
+def parse_hard_min(spec: str) -> "tuple[str, str, float]":
+    try:
+        target, value = spec.rsplit("=", 1)
+        table, column = target.split(":", 1)
+        return table, column, float(value)
+    except ValueError:
+        raise SystemExit(f"bench_diff: bad --hard-min {spec!r} "
+                         "(expected TABLE:COLUMN=VALUE)")
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--baseline", required=True,
+                        help="committed BENCH_*.json")
+    parser.add_argument("--fresh", required=True,
+                        help="fresh bench_to_json.py output to compare")
+    parser.add_argument("--tolerance", type=float, default=0.25,
+                        help="relative drift allowed on --hard metrics "
+                        "(default 0.25 = 25%%)")
+    parser.add_argument("--hard", action="append", default=[],
+                        metavar="REGEX",
+                        help="metrics (table:row:column) whose drift beyond "
+                        "--tolerance fails the run (repeatable; default: "
+                        "every metric is warn-only)")
+    parser.add_argument("--hard-min", action="append", default=[],
+                        metavar="TABLE:COLUMN=VALUE",
+                        help="scale-independent floor: the column must stay "
+                        ">= VALUE in every row (repeatable)")
+    args = parser.parse_args()
+
+    base_tables = load_tables(args.baseline)
+    fresh_tables = load_tables(args.fresh)
+    hard = [re.compile(p) for p in args.hard]
+    floors = [parse_hard_min(s) for s in args.hard_min]
+    floor_hits = {i: 0 for i in range(len(floors))}
+
+    rows_out = []  # (metric, base, fresh, delta_str, status)
+    hard_failures = []
+
+    for name, base in base_tables.items():
+        fresh = fresh_tables.get(name)
+        if fresh is None:
+            fail(f"table {name!r} missing from fresh run")
+        if fresh["columns"] != base["columns"]:
+            fail(f"table {name!r} columns changed: baseline "
+                 f"{base['columns']} vs fresh {fresh['columns']}")
+        if len(fresh["rows"]) < len(base["rows"]):
+            fail(f"table {name!r} lost rows: baseline has "
+                 f"{len(base['rows'])}, fresh has {len(fresh['rows'])}")
+        for r, (brow, frow) in enumerate(zip(base["rows"], fresh["rows"])):
+            if len(brow) != len(base["columns"]) or \
+                    len(frow) != len(base["columns"]):
+                fail(f"table {name!r} row {r} has the wrong cell count")
+            label = brow[0]
+            if frow[0] != label:
+                fail(f"table {name!r} row {r} label changed: "
+                     f"{label!r} -> {frow[0]!r}")
+            for c, column in enumerate(base["columns"]):
+                bval = parse_cell(brow[c])
+                if bval is None:
+                    continue  # label / "-" cell in the baseline
+                fval = parse_cell(frow[c])
+                metric = f"{name}:{label}:{column}"
+                if fval is None:
+                    fail(f"metric {metric} was numeric in the baseline "
+                         f"({brow[c]!r}) but not in the fresh run "
+                         f"({frow[c]!r})")
+                for i, (ftable, fcolumn, floor) in enumerate(floors):
+                    if name == ftable and column == fcolumn:
+                        floor_hits[i] += 1
+                        if fval < floor:
+                            hard_failures.append(
+                                f"{metric} = {fval} below floor {floor}")
+                delta = ((fval - bval) / abs(bval)) if bval else \
+                    (0.0 if fval == 0 else float("inf"))
+                is_hard = any(p.search(metric) for p in hard)
+                within = abs(delta) <= args.tolerance
+                status = "ok" if within else \
+                    ("FAIL" if is_hard else "warn")
+                if is_hard and not within:
+                    hard_failures.append(
+                        f"{metric}: {bval} -> {fval} "
+                        f"({delta:+.1%} > ±{args.tolerance:.0%})")
+                rows_out.append((metric, brow[c], frow[c],
+                                 f"{delta:+.1%}", status))
+        for extra in fresh["rows"][len(base["rows"]):]:
+            if not isinstance(extra, list) or \
+                    len(extra) != len(base["columns"]):
+                fail(f"table {name!r} extra row has the wrong cell count")
+            rows_out.append((f"{name}:{extra[0]}:*", "-", "(new row)", "-",
+                             "new"))
+            # "Every row" includes rows the baseline does not know yet: a
+            # floor must hold on new rows too, or growing a table would
+            # silently widen the gate.
+            for i, (ftable, fcolumn, floor) in enumerate(floors):
+                if name != ftable or fcolumn not in base["columns"]:
+                    continue
+                cell = extra[base["columns"].index(fcolumn)]
+                fval = parse_cell(cell)
+                if fval is None:
+                    fail(f"metric {name}:{extra[0]}:{fcolumn} under a "
+                         f"--hard-min floor is not numeric ({cell!r})")
+                floor_hits[i] += 1
+                if fval < floor:
+                    hard_failures.append(
+                        f"{name}:{extra[0]}:{fcolumn} = {fval} below "
+                        f"floor {floor} (new row)")
+    for name in fresh_tables:
+        if name not in base_tables:
+            rows_out.append((f"{name}:*:*", "-", "(new table)", "-", "new"))
+
+    for i, (ftable, fcolumn, floor) in enumerate(floors):
+        if floor_hits[i] == 0:
+            fail(f"--hard-min {ftable}:{fcolumn}={floor} matched no metric "
+                 "(typo in table/column name?)")
+
+    width = max((len(m) for m, *_ in rows_out), default=10)
+    print(f"{'metric':<{width}}  {'baseline':>12}  {'fresh':>12}  "
+          f"{'delta':>9}  status")
+    for metric, bcell, fcell, delta, status in rows_out:
+        print(f"{metric:<{width}}  {bcell:>12}  {fcell:>12}  {delta:>9}  "
+              f"{status}")
+
+    warns = sum(1 for *_, s in rows_out if s == "warn")
+    if hard_failures:
+        print(f"\nbench_diff: {len(hard_failures)} hard regression(s):",
+              file=sys.stderr)
+        for h in hard_failures:
+            print(f"  {h}", file=sys.stderr)
+        return 1
+    print(f"\nbench_diff: OK ({len(rows_out)} metrics, {warns} drifted "
+          f"beyond ±{args.tolerance:.0%} [warn-only])", file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

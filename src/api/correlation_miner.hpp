@@ -43,6 +43,12 @@ namespace farmer {
 ///     live (all zero when the cache is disabled), and the publish counters
 ///     (`publishes`, `files_cloned`, `bytes_shared`) account the
 ///     copy-on-write snapshot pipeline.
+///   * Routing backends (router): every scalar counter is the sum over the
+///     child miners (except `epoch`, which is the max — child publish
+///     rounds are independent clocks, so a sum would be meaningless),
+///     `shard_epochs` stays empty at the top level, and `per_tenant` holds
+///     each child's full MinerStats in tenant order. Leaf backends leave
+///     `per_tenant` empty — "empty" *means* "not a router", by contract.
 struct MinerStats {
   std::uint64_t requests = 0;         ///< observe() calls ingested
   std::uint64_t pairs_evaluated = 0;  ///< CoMiner R(x,y) evaluations
@@ -79,6 +85,10 @@ struct MinerStats {
   /// is the invalidation signal the Correlator-List cache validates
   /// against.
   std::vector<std::uint64_t> shard_epochs;
+  /// Per-tenant child stats in tenant order ("router" backend only; empty
+  /// everywhere else). Children are leaves, so entries never nest further.
+  /// std::vector explicitly supports the incomplete element type here.
+  std::vector<MinerStats> per_tenant;
 
   [[nodiscard]] double acceptance_rate() const noexcept {
     return pairs_evaluated

@@ -4,6 +4,7 @@
 #include <stdexcept>
 #include <utility>
 
+#include "api/miner_router.hpp"
 #include "core/concurrent_farmer.hpp"
 #include "core/farmer.hpp"
 #include "core/sharded_farmer.hpp"
@@ -54,6 +55,18 @@ Registry& registry() {
                            std::shared_ptr<const TraceDictionary> dict,
                            const MinerOptions&) {
       return std::make_unique<NexusMiner>(cfg, std::move(dict));
+    };
+    built_in["router"] = [](const FarmerConfig& cfg,
+                            std::shared_ptr<const TraceDictionary> dict,
+                            const MinerOptions& opts) {
+      // Children inherit the full MinerOptions; the spec string only picks
+      // each tenant's backend name. Spec errors surface as
+      // std::invalid_argument from here, before any child is built.
+      auto specs = parse_router_backends(opts.router_backends,
+                                         opts.router_tenants, opts);
+      return std::make_unique<MinerRouter>(cfg, std::move(dict),
+                                           std::move(specs),
+                                           opts.router_tenant_of);
     };
     built_in["concurrent"] = [](const FarmerConfig& cfg,
                                 std::shared_ptr<const TraceDictionary> dict,

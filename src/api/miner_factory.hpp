@@ -1,10 +1,12 @@
 // Runtime-selectable mining backends.
 //
-// `make_miner("farmer" | "sharded" | "concurrent" | "nexus", cfg, dict,
-// opts)` turns the backend choice into data: benches flip ablations
-// (Table 2/3, Fig. 3/6) with a string flag instead of a recompiled type,
-// and later scaling PRs (remote shards, multi-backend serving) register
-// themselves via `register_miner` without touching any consumer.
+// `make_miner("farmer" | "sharded" | "concurrent" | "router" | "nexus",
+// cfg, dict, opts)` turns the backend choice into data: benches flip
+// ablations (Table 2/3, Fig. 3/6) with a string flag instead of a
+// recompiled type, and later scaling PRs (remote shards, multi-backend
+// serving) register themselves via `register_miner` without touching any
+// consumer. "router" is itself factory-driven: it builds one child miner
+// per tenant through this registry (api/miner_router.hpp).
 //
 // The configuration is validated (FarmerConfig::validate) before any
 // backend is constructed; a bad config or an unknown backend name throws
@@ -55,6 +57,21 @@ struct MinerOptions {
   /// Only meaningful with publish_interval_records > 1; 0 = backend
   /// default (4 ms). Env: FARMER_PUBLISH_MAX_DELAY_MS.
   std::size_t publish_max_delay_ms = 0;
+  /// Tenant partitions for the "router" backend: the FileId space is split
+  /// across this many independent child miners. Env: FARMER_ROUTER_TENANTS.
+  std::size_t router_tenants = 2;
+  /// Per-tenant backend spec for "router": one registered name for every
+  /// tenant ("concurrent") or `idx=name` pairs with an optional `*=name`
+  /// default ("0=concurrent,1=sharded,*=farmer"). Empty = "farmer"
+  /// everywhere; "router" cannot nest. Children inherit this MinerOptions
+  /// (shards, cache, publish knobs). Env: FARMER_ROUTER_BACKENDS.
+  std::string router_backends;
+  /// Optional tenant-extraction override for "router": maps a FileId to
+  /// its owning tenant; must be pure and thread-safe. Empty = contiguous
+  /// FileId ranges over the dictionary's file count (hash fallback when
+  /// the dictionary is empty). See MinerRouter::range_tenants /
+  /// hash_tenants (api/miner_router.hpp).
+  std::function<std::uint32_t(FileId)> router_tenant_of;
 };
 
 using MinerFactoryFn = std::function<std::unique_ptr<CorrelationMiner>(
@@ -62,8 +79,8 @@ using MinerFactoryFn = std::function<std::unique_ptr<CorrelationMiner>(
     const MinerOptions& opts)>;
 
 /// Adds (or replaces) a backend under `name`. Returns true when `name` was
-/// new. Built-ins "farmer", "sharded", "concurrent" and "nexus" are
-/// pre-registered. This is the extension seam for new backends (remote
+/// new. Built-ins "farmer", "sharded", "concurrent", "router" and "nexus"
+/// are pre-registered. This is the extension seam for new backends (remote
 /// shards, multi-backend serving, ...) — see docs/ARCHITECTURE.md.
 ///
 /// A registered factory must return miners honoring the CorrelationMiner

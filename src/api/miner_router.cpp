@@ -1,0 +1,231 @@
+#include "api/miner_router.hpp"
+
+#include <algorithm>
+#include <charconv>
+#include <stdexcept>
+#include <utility>
+
+namespace farmer {
+
+namespace {
+
+/// One `idx=name` / `*=name` item of the backend spec (the caller has
+/// already rejected items without '=').
+struct SpecItem {
+  bool wildcard = false;
+  std::size_t index = 0;
+  std::string name;
+};
+
+SpecItem parse_spec_item(std::string_view item) {
+  SpecItem out;
+  const std::size_t eq = item.find('=');
+  const std::string_view key = item.substr(0, eq);
+  const std::string_view name = item.substr(eq + 1);
+  if (key.empty() || name.empty())
+    throw std::invalid_argument(
+        "router backend spec: malformed item \"" + std::string(item) +
+        "\" (expected idx=name or *=name)");
+  out.name = std::string(name);
+  if (key == "*") {
+    out.wildcard = true;
+    return out;
+  }
+  std::size_t idx = 0;
+  const auto [ptr, ec] =
+      std::from_chars(key.data(), key.data() + key.size(), idx);
+  if (ec != std::errc{} || ptr != key.data() + key.size())
+    throw std::invalid_argument("router backend spec: bad tenant index \"" +
+                                std::string(key) + "\"");
+  out.index = idx;
+  return out;
+}
+
+}  // namespace
+
+std::vector<RouterTenantSpec> parse_router_backends(
+    std::string_view spec, std::size_t tenants,
+    const MinerOptions& child_opts) {
+  if (tenants == 0)
+    throw std::invalid_argument("router: tenant count must be >= 1");
+  std::vector<RouterTenantSpec> out(tenants);
+  for (auto& s : out) s.options = child_opts;
+  if (spec.empty()) return out;  // all-"farmer" default
+
+  // A spec without any '=' is one backend name for every tenant.
+  if (spec.find('=') == std::string_view::npos &&
+      spec.find(',') == std::string_view::npos) {
+    for (auto& s : out) s.backend = std::string(spec);
+  } else {
+    std::vector<bool> assigned(tenants, false);
+    std::string wildcard;
+    std::size_t pos = 0;
+    while (pos <= spec.size()) {
+      const std::size_t comma = std::min(spec.find(',', pos), spec.size());
+      const std::string_view item = spec.substr(pos, comma - pos);
+      pos = comma + 1;
+      if (item.empty())
+        throw std::invalid_argument(
+            "router backend spec: empty item in \"" + std::string(spec) +
+            "\"");
+      // Inside a list every item must be keyed: a bare name here is most
+      // likely a positional-syntax mistake, and silently treating it as
+      // the wildcard default would reconfigure every unlisted tenant.
+      if (item.find('=') == std::string_view::npos)
+        throw std::invalid_argument(
+            "router backend spec: bare name \"" + std::string(item) +
+            "\" inside a list (use idx=name, or *=name for the default)");
+      const SpecItem parsed = parse_spec_item(item);
+      if (parsed.wildcard) {
+        if (!wildcard.empty())
+          throw std::invalid_argument(
+              "router backend spec: duplicate default in \"" +
+              std::string(spec) + "\"");
+        wildcard = parsed.name;
+        continue;
+      }
+      if (parsed.index >= tenants)
+        throw std::invalid_argument(
+            "router backend spec: tenant index " +
+            std::to_string(parsed.index) + " >= tenant count " +
+            std::to_string(tenants));
+      if (assigned[parsed.index])
+        throw std::invalid_argument("router backend spec: tenant " +
+                                    std::to_string(parsed.index) +
+                                    " assigned twice");
+      assigned[parsed.index] = true;
+      out[parsed.index].backend = parsed.name;
+    }
+    if (!wildcard.empty())
+      for (std::size_t t = 0; t < tenants; ++t)
+        if (!assigned[t]) out[t].backend = wildcard;
+  }
+  for (const auto& s : out)
+    if (s.backend == "router")
+      throw std::invalid_argument(
+          "router backend spec: tenants cannot nest \"router\"");
+  return out;
+}
+
+MinerRouter::TenantFn MinerRouter::range_tenants(std::uint32_t tenant_count,
+                                                 std::uint32_t file_count) {
+  if (tenant_count == 0)
+    throw std::invalid_argument("range_tenants: tenant count must be >= 1");
+  if (file_count == 0) return hash_tenants(tenant_count);
+  return [tenant_count, file_count](FileId f) -> std::uint32_t {
+    // 64-bit product: FileId::kInvalid (0xFFFFFFFF) must clamp into the
+    // last tenant, not wrap.
+    const std::uint64_t t = static_cast<std::uint64_t>(f.value()) *
+                            tenant_count / file_count;
+    return static_cast<std::uint32_t>(
+        std::min<std::uint64_t>(t, tenant_count - 1));
+  };
+}
+
+MinerRouter::TenantFn MinerRouter::hash_tenants(std::uint32_t tenant_count) {
+  if (tenant_count == 0)
+    throw std::invalid_argument("hash_tenants: tenant count must be >= 1");
+  return [tenant_count](FileId f) -> std::uint32_t {
+    // Fibonacci mix then fold the high bits, matching std::hash<TaggedId>.
+    const std::uint64_t mixed =
+        static_cast<std::uint64_t>(f.value()) * 0x9E3779B97F4A7C15ull;
+    return static_cast<std::uint32_t>((mixed >> 32) % tenant_count);
+  };
+}
+
+MinerRouter::MinerRouter(const FarmerConfig& cfg,
+                         std::shared_ptr<const TraceDictionary> dict,
+                         std::vector<RouterTenantSpec> tenants,
+                         TenantFn tenant_of)
+    : tenant_of_(std::move(tenant_of)) {
+  if (tenants.empty())
+    throw std::invalid_argument("MinerRouter: at least one tenant required");
+  if (!tenant_of_) {
+    const auto files =
+        dict ? static_cast<std::uint32_t>(dict->files.size()) : 0u;
+    tenant_of_ = range_tenants(static_cast<std::uint32_t>(tenants.size()),
+                               files);
+  }
+  children_.reserve(tenants.size());
+  for (auto& spec : tenants) {
+    if (spec.backend == "router")
+      throw std::invalid_argument(
+          "MinerRouter: tenants cannot nest \"router\"");
+    children_.push_back(make_miner(spec.backend, cfg, dict, spec.options));
+  }
+}
+
+void MinerRouter::observe(const TraceRecord& rec) {
+  children_[tenant_of(rec.file)]->observe(rec);
+}
+
+void MinerRouter::observe_batch(std::span<const TraceRecord> records) {
+  if (children_.size() == 1) {
+    children_[0]->observe_batch(records);
+    return;
+  }
+  // Partition preserving order so each tenant's sub-stream reaches its
+  // child exactly as a dedicated miner would have seen it. The per-batch
+  // allocation keeps the router stateless and therefore as thread-safe as
+  // its children; single-tenant routing above stays zero-copy.
+  std::vector<std::vector<TraceRecord>> parts(children_.size());
+  for (const TraceRecord& r : records)
+    parts[tenant_of(r.file)].push_back(r);
+  for (std::size_t t = 0; t < parts.size(); ++t)
+    if (!parts[t].empty()) children_[t]->observe_batch(parts[t]);
+}
+
+void MinerRouter::flush() {
+  for (auto& child : children_) child->flush();
+}
+
+CorrelatorView MinerRouter::snapshot(FileId f) const {
+  return children_[tenant_of(f)]->snapshot(f);
+}
+
+double MinerRouter::correlation_degree(FileId a, FileId b) const {
+  return children_[tenant_of(a)]->correlation_degree(a, b);
+}
+
+double MinerRouter::semantic_similarity(FileId a, FileId b) const {
+  return children_[tenant_of(a)]->semantic_similarity(a, b);
+}
+
+std::uint64_t MinerRouter::access_count(FileId f) const {
+  return children_[tenant_of(f)]->access_count(f);
+}
+
+double MinerRouter::access_frequency(FileId pred, FileId succ) const {
+  return children_[tenant_of(pred)]->access_frequency(pred, succ);
+}
+
+MinerStats MinerRouter::stats() const {
+  MinerStats total;
+  total.shards = 0;
+  total.per_tenant.reserve(children_.size());
+  for (const auto& child : children_) {
+    MinerStats s = child->stats();
+    total.requests += s.requests;
+    total.pairs_evaluated += s.pairs_evaluated;
+    total.pairs_accepted += s.pairs_accepted;
+    total.pairs_filtered += s.pairs_filtered;
+    total.shards += s.shards;
+    total.epoch = std::max(total.epoch, s.epoch);
+    total.pending += s.pending;
+    total.publishes += s.publishes;
+    total.files_cloned += s.files_cloned;
+    total.bytes_shared += s.bytes_shared;
+    total.cache_hits += s.cache_hits;
+    total.cache_misses += s.cache_misses;
+    total.per_tenant.push_back(std::move(s));
+  }
+  return total;
+}
+
+std::size_t MinerRouter::footprint_bytes() const {
+  std::size_t total = sizeof(*this);
+  for (const auto& child : children_) total += child->footprint_bytes();
+  return total;
+}
+
+}  // namespace farmer

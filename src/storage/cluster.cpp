@@ -19,12 +19,16 @@ ClusterMetrics run_cluster(const Trace& trace, Predictor& predictor,
   };
 
   // std::function must be copyable; share the recursive closure via a
-  // small heap cell.
+  // small heap cell. The closure captures its own cell weakly — a strong
+  // capture would be a shared_ptr cycle (cell -> function -> cell) that
+  // outlives the function and leaks. The local `issue` keeps the cell
+  // alive for the whole run, so lock() cannot fail while events exist.
   auto issue = std::make_shared<std::function<void(std::size_t)>>();
-  *issue = [&, issue](std::size_t i) {
+  *issue = [&, weak = std::weak_ptr(issue)](std::size_t i) {
     if (i + 1 < records.size())
-      sim.schedule_at(arrival_time(i + 1),
-                      [issue, i] { (*issue)(i + 1); });
+      sim.schedule_at(arrival_time(i + 1), [weak, i] {
+        if (const auto self = weak.lock()) (*self)(i + 1);
+      });
     mds.handle_demand(records[i], [&metrics](SimTime rt) {
       metrics.response.record(static_cast<std::uint64_t>(rt));
     });

@@ -4,6 +4,7 @@
 #include <cassert>
 #include <numeric>
 #include <string>
+#include <unordered_map>
 
 #include "common/parallel.hpp"
 #include "common/rng.hpp"
@@ -576,6 +577,155 @@ Trace make_paper_trace(TraceKind kind, std::uint64_t seed, double scale) {
   }
   if (scale != 1.0) p = p.scaled(scale);
   return generate_trace(p, seed);
+}
+
+namespace {
+
+/// Splices one tenant's trace into the merged dictionary/stream. All
+/// remapping state is local so tenants cannot alias each other by
+/// construction: token ids go through a lazy per-tenant table (strings are
+/// re-interned under a "t<t>~" prefix), entity ids (user/process/host/job)
+/// through dense maps drawing fresh ids from shared counters, file ids by
+/// the contiguous offset the caller records in `file_begin`, and
+/// ground-truth groups by a running group offset.
+struct TenantSplicer {
+  TraceDictionary& dict;
+  std::string prefix;  ///< "t<tenant>~", namespaces every re-interned token
+  std::vector<TokenId> token_map;
+  std::vector<PathId> path_map;
+  std::uint32_t file_offset = 0;
+  std::uint32_t group_offset = 0;
+  std::uint32_t group_max = 0;  ///< highest remapped group id seen + 1
+  // Shared dense-id counters, owned by the caller (one per id space).
+  std::uint32_t& next_user;
+  std::uint32_t& next_process;
+  std::uint32_t& next_host;
+  std::uint32_t& next_job;
+  std::unordered_map<std::uint32_t, std::uint32_t> user_map, process_map,
+      host_map, job_map;
+
+  [[nodiscard]] TokenId remap_token(const TraceDictionary& src, TokenId t) {
+    if (!t.valid()) return t;
+    TokenId& slot = token_map.at(t.value());
+    if (!slot.valid())
+      slot = dict.tokens.intern(prefix + std::string(src.tokens.resolve(t)));
+    return slot;
+  }
+
+  [[nodiscard]] static std::uint32_t remap_id(
+      std::unordered_map<std::uint32_t, std::uint32_t>& map,
+      std::uint32_t& next, std::uint32_t old) {
+    const auto [it, inserted] = map.try_emplace(old, next);
+    if (inserted) ++next;
+    return it->second;
+  }
+
+  void splice(const Trace& sub) {
+    const TraceDictionary& src = *sub.dict;
+    token_map.assign(src.tokens.size(), TokenId());
+    path_map.assign(src.paths.size(), PathId());
+    file_offset = static_cast<std::uint32_t>(dict.files.size());
+
+    for (std::size_t p = 0; p < src.paths.size(); ++p) {
+      SmallVector<TokenId, 8> comps;
+      for (TokenId t : src.paths[p]) comps.push_back(remap_token(src, t));
+      path_map[p] = dict.add_path(std::move(comps));
+    }
+    for (const FileMeta& m : src.files) {
+      FileMeta out = m;
+      out.path = m.path.valid() ? path_map.at(m.path.value()) : PathId();
+      out.dev = remap_token(src, m.dev);
+      out.fid = remap_token(src, m.fid);
+      if (m.group != kNoGroup) {
+        out.group = group_offset + m.group;
+        group_max = std::max(group_max, out.group + 1);
+      }
+      dict.files.push_back(out);
+    }
+  }
+
+  [[nodiscard]] TraceRecord remap_record(const TraceDictionary& src,
+                                         TraceRecord r) {
+    r.file = FileId(r.file.value() + file_offset);
+    if (r.user.valid())
+      r.user = UserId(remap_id(user_map, next_user, r.user.value()));
+    if (r.process.valid())
+      r.process =
+          ProcessId(remap_id(process_map, next_process, r.process.value()));
+    if (r.host.valid())
+      r.host = HostId(remap_id(host_map, next_host, r.host.value()));
+    if (r.job.valid())
+      r.job = JobId(remap_id(job_map, next_job, r.job.value()));
+    r.path = r.path.valid() ? path_map.at(r.path.value()) : PathId();
+    r.user_token = remap_token(src, r.user_token);
+    r.process_token = remap_token(src, r.process_token);
+    r.host_token = remap_token(src, r.host_token);
+    r.dev_token = remap_token(src, r.dev_token);
+    r.fid_token = remap_token(src, r.fid_token);
+    r.program_token = remap_token(src, r.program_token);
+    return r;
+  }
+};
+
+}  // namespace
+
+MultiTenantTrace make_multi_tenant_trace(std::span<const TraceKind> tenants,
+                                         std::uint64_t seed, double scale) {
+  MultiTenantTrace out;
+  out.trace.kind = TraceKind::kCustom;
+  out.trace.has_paths = !tenants.empty();
+  out.trace.dict = std::make_shared<TraceDictionary>();
+  out.trace.name = "MT[";
+  out.file_begin.push_back(0);
+
+  std::uint32_t next_user = 0, next_process = 0, next_host = 0, next_job = 0;
+  std::uint32_t group_offset = 0;
+  std::size_t total_records = 0;
+  std::vector<TraceRecord> merged;
+  for (std::size_t t = 0; t < tenants.size(); ++t) {
+    // Split the master seed per tenant (SplitMix-style odd-constant jump)
+    // so tenant streams are independent and the whole result is a pure
+    // function of (tenants, seed, scale).
+    const Trace sub = make_paper_trace(
+        tenants[t], seed + 0x9E3779B97F4A7C15ull * (t + 1), scale);
+    out.trace.name += (t ? "+" : "") + sub.name;
+    out.trace.has_paths = out.trace.has_paths && sub.has_paths;
+
+    TenantSplicer splicer{*out.trace.dict,
+                          "t" + std::to_string(t) + "~",
+                          {},
+                          {},
+                          0,
+                          group_offset,
+                          group_offset,
+                          next_user,
+                          next_process,
+                          next_host,
+                          next_job,
+                          {},
+                          {},
+                          {},
+                          {}};
+    splicer.splice(sub);
+    total_records += sub.records.size();
+    merged.reserve(total_records);
+    for (const TraceRecord& r : sub.records)
+      merged.push_back(splicer.remap_record(*sub.dict, r));
+    group_offset = std::max(group_offset, splicer.group_max);
+    out.file_begin.push_back(
+        static_cast<std::uint32_t>(out.trace.dict->files.size()));
+  }
+  out.trace.name += "]";
+
+  // One MDS sees one time-ordered stream: interleave tenants by timestamp.
+  // stable_sort keeps equal-time records in tenant order, so the merge is
+  // deterministic.
+  std::stable_sort(merged.begin(), merged.end(),
+                   [](const TraceRecord& a, const TraceRecord& b) {
+                     return a.timestamp < b.timestamp;
+                   });
+  out.trace.records = std::move(merged);
+  return out;
 }
 
 const char* trace_kind_name(TraceKind k) noexcept {

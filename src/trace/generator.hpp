@@ -13,6 +13,9 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
+#include <span>
+#include <vector>
 
 #include "trace/profile.hpp"
 #include "trace/record.hpp"
@@ -26,5 +29,57 @@ namespace farmer {
 /// Convenience: the four paper traces at the default experiment scale.
 [[nodiscard]] Trace make_paper_trace(TraceKind kind, std::uint64_t seed,
                                      double scale = 1.0);
+
+/// A merged multi-tenant request stream, as one mining service observing
+/// several independent workloads at once would see it (the serving scenario
+/// the "router" backend partitions — api/miner_router.hpp).
+///
+/// Tenant `t`'s files occupy the contiguous FileId range
+/// [file_begin[t], file_begin[t+1]); records of all tenants interleave by
+/// timestamp. Tenants share *nothing*: users, processes, hosts, jobs,
+/// ground-truth groups and every interned token (each tenant's strings are
+/// prefixed "t<t>~") are disjoint by construction, so any cross-tenant
+/// correlation a miner reports is a mining artifact, not workload signal.
+struct MultiTenantTrace {
+  Trace trace;
+  /// Per-tenant FileId range starts plus one final end marker
+  /// (size == tenant_count() + 1, file_begin.front() == 0,
+  /// file_begin.back() == trace.file_count()).
+  std::vector<std::uint32_t> file_begin;
+
+  [[nodiscard]] std::size_t tenant_count() const noexcept {
+    return file_begin.empty() ? 0 : file_begin.size() - 1;
+  }
+  /// Ground-truth owning tenant of `f` (ids past the last range clamp into
+  /// the final tenant, mirroring MinerRouter::range_tenants).
+  [[nodiscard]] std::uint32_t tenant_of(FileId f) const noexcept {
+    return tenant_of_ranges(file_begin, f);
+  }
+  /// Self-contained FileId→tenant function over these ranges (captures
+  /// them by value, so it may outlive this object) — the ground-truth map
+  /// to hand to MinerOptions::router_tenant_of. One implementation serves
+  /// tenant_of() and every router wiring, so they cannot drift.
+  [[nodiscard]] std::function<std::uint32_t(FileId)> tenant_map() const {
+    return [begins = file_begin](FileId f) {
+      return tenant_of_ranges(begins, f);
+    };
+  }
+
+ private:
+  [[nodiscard]] static std::uint32_t tenant_of_ranges(
+      const std::vector<std::uint32_t>& begins, FileId f) noexcept {
+    std::uint32_t t = 0;
+    while (t + 2 < begins.size() && f.value() >= begins[t + 1]) ++t;
+    return t;
+  }
+};
+
+/// Generates one paper trace per entry of `tenants` (seeds split from
+/// `seed`) and splices them into a single dictionary and time-interleaved
+/// record stream. Deterministic for a given (tenants, seed, scale);
+/// `trace.has_paths` is the conjunction over tenants.
+[[nodiscard]] MultiTenantTrace make_multi_tenant_trace(
+    std::span<const TraceKind> tenants, std::uint64_t seed,
+    double scale = 1.0);
 
 }  // namespace farmer

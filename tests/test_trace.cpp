@@ -2,9 +2,12 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <array>
 #include <cstdio>
+#include <iterator>
 #include <set>
 #include <sstream>
+#include <vector>
 
 #include "trace/generator.hpp"
 #include "trace/trace_io.hpp"
@@ -196,6 +199,105 @@ TEST(TraceTsv, WritesHeaderAndRows) {
   EXPECT_NE(out.find("timestamp_us"), std::string::npos);
   // 1 header + 5 rows.
   EXPECT_EQ(std::count(out.begin(), out.end(), '\n'), 6);
+}
+
+// ----------------------------------------------------- multi-tenant merge --
+
+constexpr TraceKind kTwoTenants[] = {TraceKind::kHP, TraceKind::kINS};
+
+MultiTenantTrace tiny_multi_tenant() {
+  return make_multi_tenant_trace(kTwoTenants, 42, 0.02);
+}
+
+TEST(MultiTenantTrace_, ContiguousFileRangesCoverTheDictionary) {
+  const MultiTenantTrace mt = tiny_multi_tenant();
+  ASSERT_EQ(mt.tenant_count(), 2u);
+  ASSERT_EQ(mt.file_begin.size(), 3u);
+  EXPECT_EQ(mt.file_begin.front(), 0u);
+  EXPECT_EQ(mt.file_begin.back(), mt.trace.file_count());
+  EXPECT_LT(mt.file_begin[0], mt.file_begin[1]);
+  EXPECT_LT(mt.file_begin[1], mt.file_begin[2]);
+  // tenant_of agrees with the ranges at both sides of the boundary.
+  EXPECT_EQ(mt.tenant_of(FileId(0)), 0u);
+  EXPECT_EQ(mt.tenant_of(FileId(mt.file_begin[1] - 1)), 0u);
+  EXPECT_EQ(mt.tenant_of(FileId(mt.file_begin[1])), 1u);
+  EXPECT_EQ(
+      mt.tenant_of(FileId(static_cast<std::uint32_t>(
+          mt.trace.file_count() - 1))),
+      1u);
+}
+
+TEST(MultiTenantTrace_, RecordsInterleaveButStayInTenantRanges) {
+  const MultiTenantTrace mt = tiny_multi_tenant();
+  ASSERT_GT(mt.trace.records.size(), 0u);
+  std::set<std::uint32_t> tenants_seen;
+  for (std::size_t i = 0; i < mt.trace.records.size(); ++i) {
+    const auto& r = mt.trace.records[i];
+    ASSERT_LT(r.file.value(), mt.trace.file_count()) << i;
+    tenants_seen.insert(mt.tenant_of(r.file));
+    if (i > 0) {
+      EXPECT_LE(mt.trace.records[i - 1].timestamp, r.timestamp)
+          << "not time-sorted at " << i;
+    }
+  }
+  EXPECT_EQ(tenants_seen.size(), 2u) << "one tenant produced no records";
+}
+
+// Tenants must share nothing: users, processes, ground-truth groups and
+// every interned token are disjoint, so any cross-tenant correlation a
+// miner later reports is a mining artifact by construction.
+TEST(MultiTenantTrace_, TenantIdentitySpacesAreDisjoint) {
+  const MultiTenantTrace mt = tiny_multi_tenant();
+  std::array<std::set<std::uint32_t>, 2> users, procs, toks;
+  std::array<std::set<std::uint32_t>, 2> groups;
+  for (const auto& r : mt.trace.records) {
+    const std::uint32_t t = mt.tenant_of(r.file);
+    users[t].insert(r.user.value());
+    procs[t].insert(r.process.value());
+    toks[t].insert(r.user_token.value());
+    toks[t].insert(r.process_token.value());
+    toks[t].insert(r.host_token.value());
+    toks[t].insert(r.dev_token.value());
+    toks[t].insert(r.fid_token.value());
+    toks[t].insert(r.program_token.value());
+  }
+  for (std::uint32_t f = 0; f < mt.trace.file_count(); ++f) {
+    const FileMeta& m = mt.trace.dict->files[f];
+    if (m.group != kNoGroup) groups[mt.tenant_of(FileId(f))].insert(m.group);
+  }
+  const auto disjoint = [](const std::set<std::uint32_t>& a,
+                           const std::set<std::uint32_t>& b) {
+    std::vector<std::uint32_t> common;
+    std::set_intersection(a.begin(), a.end(), b.begin(), b.end(),
+                          std::back_inserter(common));
+    return common.empty();
+  };
+  EXPECT_TRUE(disjoint(users[0], users[1]));
+  EXPECT_TRUE(disjoint(procs[0], procs[1]));
+  EXPECT_TRUE(disjoint(toks[0], toks[1]));
+  EXPECT_TRUE(disjoint(groups[0], groups[1]));
+}
+
+TEST(MultiTenantTrace_, DeterministicForSeed) {
+  const MultiTenantTrace a = tiny_multi_tenant();
+  const MultiTenantTrace b = tiny_multi_tenant();
+  ASSERT_EQ(a.trace.records.size(), b.trace.records.size());
+  ASSERT_EQ(a.file_begin, b.file_begin);
+  for (std::size_t i = 0; i < a.trace.records.size(); ++i) {
+    EXPECT_EQ(a.trace.records[i].file, b.trace.records[i].file) << i;
+    EXPECT_EQ(a.trace.records[i].timestamp, b.trace.records[i].timestamp)
+        << i;
+    EXPECT_EQ(a.trace.records[i].process, b.trace.records[i].process) << i;
+  }
+}
+
+TEST(MultiTenantTrace_, HasPathsIsTheConjunction) {
+  // HP has paths, INS does not: the merged stream must not claim paths.
+  const MultiTenantTrace mixed = tiny_multi_tenant();
+  EXPECT_FALSE(mixed.trace.has_paths);
+  constexpr TraceKind kBothHp[] = {TraceKind::kHP, TraceKind::kHP};
+  const MultiTenantTrace hp_only = make_multi_tenant_trace(kBothHp, 42, 0.02);
+  EXPECT_TRUE(hp_only.trace.has_paths);
 }
 
 }  // namespace
