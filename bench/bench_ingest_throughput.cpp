@@ -28,6 +28,11 @@
 //      "concurrent" child per tenant (tenant map aligned to the trace's
 //      FileId ranges), with per-tenant request accounting from
 //      MinerStats::per_tenant.
+//   5. Durable persistence: steady-state ingest with the WAL + checkpoint
+//      pipeline enabled vs the no-persist baseline (sharded and concurrent
+//      paths), the cost of one full-model checkpoint save, and recovery
+//      wall-clock from a checkpoint alone vs a checkpoint plus a WAL tail
+//      (~40% of the trace) that must be replayed.
 //
 // `--json` replaces the human tables with one machine-readable JSON
 // document (scripts/bench_to_json.py validates/normalizes it into the
@@ -35,6 +40,7 @@
 #include "bench_util.hpp"
 
 #include <atomic>
+#include <filesystem>
 #include <shared_mutex>
 
 #include "common/stats.hpp"
@@ -543,6 +549,104 @@ int main(int argc, char** argv) {
     }
   }
 
+  // ------------------------------------------------- durable persistence --
+  // The first column is the row's identity for bench_diff. All persist
+  // scenarios share one temp tree (cleaned before and after); ingest rows
+  // replay the same chunked stream so the WAL + checkpoint overhead is the
+  // only difference within a pair.
+  Table recovery({"scenario", "records", "seconds", "records/s"});
+  {
+    namespace fs = std::filesystem;
+    const fs::path base = fs::temp_directory_path() / "farmer_bench_persist";
+    std::error_code ec;
+    fs::remove_all(base, ec);
+    fs::create_directories(base);
+    const std::size_t n = trace.records.size();
+    const auto add_recovery_row = [&](const char* label, double secs) {
+      recovery.add_row({label, std::to_string(n), fmt_double(secs, 3),
+                        fmt_double(static_cast<double>(n) / secs, 0)});
+    };
+    // Chunked so the durable path sees realistic batch boundaries (group
+    // commits and inline checkpoints both land inside the stream, not once
+    // at the end).
+    const auto chunked_replay = [&](CorrelationMiner& miner) {
+      const auto start = std::chrono::steady_clock::now();
+      constexpr std::size_t kChunk = 1024;
+      for (std::size_t i = 0; i < n; i += kChunk) {
+        const std::size_t len = std::min(kChunk, n - i);
+        miner.observe_batch(
+            std::span<const TraceRecord>(&trace.records[i], len));
+      }
+      miner.flush();
+      const auto end = std::chrono::steady_clock::now();
+      return std::chrono::duration<double>(end - start).count();
+    };
+
+    MinerOptions plain = opts;
+    plain.ingest_threads = kProducers;
+
+    // Kept alive past its ingest row to price save() on the full model.
+    const auto sharded_plain = make_miner("sharded", cfg, trace.dict, plain);
+    add_recovery_row("ingest sharded (no persist)",
+                     chunked_replay(*sharded_plain));
+    {
+      MinerOptions durable = plain;
+      durable.persist_dir = (base / "sharded").string();
+      const auto miner = make_miner("sharded", cfg, trace.dict, durable);
+      add_recovery_row("ingest sharded (wal+ckpt)", chunked_replay(*miner));
+    }
+    {
+      const auto miner = make_miner("concurrent", cfg, trace.dict, plain);
+      add_recovery_row("ingest concurrent x4 (no persist)",
+                       concurrent_replay(*miner, parts));
+    }
+    {
+      MinerOptions durable = plain;
+      durable.persist_dir = (base / "concurrent").string();
+      const auto miner = make_miner("concurrent", cfg, trace.dict, durable);
+      add_recovery_row("ingest concurrent x4 (wal+ckpt)",
+                       concurrent_replay(*miner, parts));
+    }
+    // One explicit full-model checkpoint into a fresh directory.
+    const fs::path ckpt_dir = base / "ckpt";
+    {
+      const auto start = std::chrono::steady_clock::now();
+      sharded_plain->save(ckpt_dir.string());
+      const auto end = std::chrono::steady_clock::now();
+      add_recovery_row("checkpoint save",
+                       std::chrono::duration<double>(end - start).count());
+    }
+    // Recovery from the checkpoint alone: the directory holds no WAL, so
+    // this prices deserialization of the full model.
+    {
+      MinerOptions durable = plain;
+      durable.persist_dir = ckpt_dir.string();
+      const auto start = std::chrono::steady_clock::now();
+      const auto recovered = make_miner("sharded", cfg, trace.dict, durable);
+      const auto end = std::chrono::steady_clock::now();
+      add_recovery_row("recover (checkpoint only)",
+                       std::chrono::duration<double>(end - start).count());
+    }
+    // Recovery with a WAL tail: checkpoint at ~60% of the trace, so the
+    // remaining ~40% must be replayed record by record on open.
+    {
+      MinerOptions durable = plain;
+      durable.persist_dir = (base / "tail").string();
+      durable.checkpoint_interval_records = std::max<std::size_t>(
+          1, (n * 3) / 5);
+      {
+        const auto miner = make_miner("sharded", cfg, trace.dict, durable);
+        chunked_replay(*miner);
+      }
+      const auto start = std::chrono::steady_clock::now();
+      const auto recovered = make_miner("sharded", cfg, trace.dict, durable);
+      const auto end = std::chrono::steady_clock::now();
+      add_recovery_row("recover (checkpoint + wal tail)",
+                       std::chrono::duration<double>(end - start).count());
+    }
+    fs::remove_all(base, ec);
+  }
+
   if (json) {
     std::cout << "{\"bench\": \"bench_ingest_throughput\", \"scale\": "
               << bench_scale() << ", \"publish_files\": " << publish_files
@@ -554,6 +658,8 @@ int main(int argc, char** argv) {
     mixed.print_json(std::cout, "mixed_ingest_readers");
     std::cout << ", ";
     tenants_tbl.print_json(std::cout, "multi_tenant");
+    std::cout << ", ";
+    recovery.print_json(std::cout, "recovery");
     std::cout << "]}\n";
     return 0;
   }
@@ -565,6 +671,12 @@ int main(int argc, char** argv) {
                "\"concurrent\" miner vs the \"router\" backend with one "
                "concurrent child per tenant:\n\n";
   tenants_tbl.print(std::cout);
+
+  std::cout << "\nDurable persistence: WAL + checkpoint overhead on the "
+               "ingest path, checkpoint save cost, and recovery wall-clock "
+               "(checkpoint deserialization vs checkpoint + ~40%-of-trace "
+               "WAL replay):\n\n";
+  recovery.print(std::cout);
 
   std::cout << "\nNote: FARMER_SHARDS (default 4) sets the mining "
                "partitions for both backends; producer counts above the "

@@ -96,6 +96,15 @@ inline FarmerConfig fpa_config(const Trace& trace) {
 ///   FARMER_ROUTER_BACKENDS=<s>  (default "farmer" everywhere, "router"
 ///                                per-tenant backend spec: one name or
 ///                                "0=concurrent,1=sharded,*=farmer")
+///   FARMER_PERSIST_DIR=<path>   (default off: durable persistence
+///                                directory — WAL + checkpoints, recovered
+///                                on construction; benches add a per-trace
+///                                subdirectory, "router" per-tenant ones)
+///   FARMER_CHECKPOINT_INTERVAL=<n> (default backend = 65536, checkpoint
+///                                every n ingested records)
+///   FARMER_WAL_GROUP_COMMIT=<n> (default backend = 4096, WAL commit-group
+///                                size in records; closed groups fsync on
+///                                a background sync thread)
 /// so ablations over the backend are a flag, not a recompile. The README's
 /// configuration table is the authoritative reference for these knobs.
 inline const char* miner_backend() {
@@ -139,6 +148,12 @@ inline MinerOptions miner_options() {
                 /*max_value=*/1024);
   if (const char* spec = std::getenv("FARMER_ROUTER_BACKENDS"); spec && *spec)
     opts.router_backends = spec;
+  if (const char* dir = std::getenv("FARMER_PERSIST_DIR"); dir && *dir)
+    opts.persist_dir = dir;
+  env_size_into("FARMER_CHECKPOINT_INTERVAL", opts.checkpoint_interval_records,
+                /*max_value=*/1u << 30);
+  env_size_into("FARMER_WAL_GROUP_COMMIT", opts.wal_group_commit,
+                /*max_value=*/1u << 30);
   return opts;
 }
 
@@ -157,7 +172,12 @@ inline bool json_output_requested(int argc, char** argv) {
 /// which backend produced it.
 inline std::unique_ptr<CorrelationMiner> make_bench_miner(
     const Trace& trace, const FarmerConfig& cfg) {
-  const MinerOptions opts = miner_options();
+  MinerOptions opts = miner_options();
+  // A persist directory is bound to one trace's dictionary; benches sweep
+  // several traces, so each trace gets its own subdirectory (mirroring the
+  // router's per-tenant layout).
+  if (!opts.persist_dir.empty() && !trace.name.empty())
+    opts.persist_dir += "/" + trace.name;
   std::unique_ptr<CorrelationMiner> miner;
   try {
     miner = make_miner(miner_backend(), cfg, trace.dict, opts);

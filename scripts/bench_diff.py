@@ -25,6 +25,12 @@ a CI gate plus a human trend table:
     named column must stay >= VALUE in every row. This is the CI gate for
     ratio metrics ("publish_cost:speedup=1.0" pins "COW publish beats the
     deep copy it replaced" at any scale).
+  * --allow-new-tables downgrades "whole table in the baseline but not in
+    the fresh run" from a hard failure to a warn row, so the commit that
+    introduces a table (baseline regenerated, older branches' binaries
+    unaware of it) does not wedge every other branch's CI. Removed or
+    renamed *columns* inside a shared table still fail — that is silent
+    measurement loss, not growth.
 
 Usage:
     scripts/bench_diff.py --baseline BENCH_ingest.json \
@@ -111,6 +117,13 @@ def main() -> int:
                         metavar="TABLE:COLUMN=VALUE",
                         help="scale-independent floor: the column must stay "
                         ">= VALUE in every row (repeatable)")
+    parser.add_argument("--allow-new-tables", action="store_true",
+                        help="a whole table present in the baseline but "
+                        "absent from the fresh run warns instead of failing "
+                        "(for the commit that introduces a table: the "
+                        "baseline already has it while older branches' "
+                        "binaries do not). Removed or renamed columns "
+                        "inside a table still fail")
     args = parser.parse_args()
 
     base_tables = load_tables(args.baseline)
@@ -121,10 +134,16 @@ def main() -> int:
 
     rows_out = []  # (metric, base, fresh, delta_str, status)
     hard_failures = []
+    skipped_tables = set()  # baseline-only tables under --allow-new-tables
 
     for name, base in base_tables.items():
         fresh = fresh_tables.get(name)
         if fresh is None:
+            if args.allow_new_tables:
+                rows_out.append((f"{name}:*:*", "(baseline only)", "-", "-",
+                                 "warn"))
+                skipped_tables.add(name)
+                continue
             fail(f"table {name!r} missing from fresh run")
         if fresh["columns"] != base["columns"]:
             fail(f"table {name!r} columns changed: baseline "
@@ -195,7 +214,7 @@ def main() -> int:
             rows_out.append((f"{name}:*:*", "-", "(new table)", "-", "new"))
 
     for i, (ftable, fcolumn, floor) in enumerate(floors):
-        if floor_hits[i] == 0:
+        if floor_hits[i] == 0 and ftable not in skipped_tables:
             fail(f"--hard-min {ftable}:{fcolumn}={floor} matched no metric "
                  "(typo in table/column name?)")
 

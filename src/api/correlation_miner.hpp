@@ -18,6 +18,8 @@
 
 #include <cstdint>
 #include <span>
+#include <stdexcept>
+#include <string>
 #include <vector>
 
 #include "common/types.hpp"
@@ -271,6 +273,32 @@ class CorrelationMiner {
   /// any thread and internally consistent (one published state), though
   /// `pending` is read separately and may lag by an in-flight apply round.
   [[nodiscard]] virtual MinerStats stats() const = 0;
+
+  /// Writes a durable checkpoint of the full model state into directory
+  /// `dir` (created if needed): a versioned, checksummed serialization of
+  /// every shard's semantic vectors/signatures, correlation graph, Correlator
+  /// Lists, CoMiner counters and the embedded trace dictionary — see
+  /// docs/ARCHITECTURE.md "Durable persistence". `load(dir)` restores it.
+  /// Backends without persistence support throw std::logic_error (the
+  /// default). Asynchronous backends flush() first, so the checkpoint covers
+  /// every record accepted before the call.
+  virtual void save(const std::string& dir) {
+    (void)dir;
+    throw std::logic_error(std::string(name()) +
+                           ": save() not supported by this backend");
+  }
+
+  /// Restores state previously written by save() — or accumulated in a
+  /// `MinerOptions::persist_dir` directory (newest valid checkpoint plus the
+  /// WAL tail). Only valid on a miner that has not ingested anything yet;
+  /// throws std::logic_error otherwise, std::runtime_error on corrupt or
+  /// configuration-incompatible state. Backends without persistence support
+  /// throw std::logic_error (the default).
+  virtual void load(const std::string& dir) {
+    (void)dir;
+    throw std::logic_error(std::string(name()) +
+                           ": load() not supported by this backend");
+  }
 
   /// Additional memory the miner holds (Table 4 accounting).
   [[nodiscard]] virtual std::size_t footprint_bytes() const = 0;

@@ -2,12 +2,16 @@
 
 #include <map>
 #include <stdexcept>
+#include <string>
 #include <utility>
+#include <vector>
 
 #include "api/miner_router.hpp"
 #include "core/concurrent_farmer.hpp"
 #include "core/farmer.hpp"
 #include "core/sharded_farmer.hpp"
+#include "persist/durable_miner.hpp"
+#include "persist/persister.hpp"
 
 namespace farmer {
 
@@ -35,26 +39,58 @@ class NexusMiner final : public Farmer {
   }
 };
 
+persist::Options persist_options(const MinerOptions& opts) {
+  persist::Options p;
+  p.dir = opts.persist_dir;
+  p.checkpoint_interval_records = opts.checkpoint_interval_records;
+  p.wal_group_commit = opts.wal_group_commit;
+  return p;
+}
+
 using Registry = std::map<std::string, MinerFactoryFn, std::less<>>;
 
 Registry& registry() {
   static Registry r = [] {
     Registry built_in;
+    // Synchronous backends become durable by decoration: the factory knows
+    // the concrete types, so it hands DurableMiner the Farmer shard view
+    // the checkpoint serializer needs. Recovery runs inside the decorator's
+    // constructor, before the miner is returned.
     built_in["farmer"] = [](const FarmerConfig& cfg,
                             std::shared_ptr<const TraceDictionary> dict,
-                            const MinerOptions&) {
-      return std::make_unique<Farmer>(cfg, std::move(dict));
+                            const MinerOptions& opts)
+        -> std::unique_ptr<CorrelationMiner> {
+      auto miner = std::make_unique<Farmer>(cfg, dict);
+      if (opts.persist_dir.empty()) return miner;
+      std::vector<Farmer*> view{miner.get()};
+      return std::make_unique<persist::DurableMiner>(
+          std::move(miner), std::move(view), cfg, std::move(dict),
+          persist_options(opts));
     };
     built_in["sharded"] = [](const FarmerConfig& cfg,
                              std::shared_ptr<const TraceDictionary> dict,
-                             const MinerOptions& opts) {
-      return std::make_unique<ShardedFarmer>(cfg, std::move(dict),
-                                             opts.shards);
+                             const MinerOptions& opts)
+        -> std::unique_ptr<CorrelationMiner> {
+      auto miner = std::make_unique<ShardedFarmer>(cfg, dict, opts.shards);
+      if (opts.persist_dir.empty()) return miner;
+      std::vector<Farmer*> view;
+      view.reserve(miner->shard_count());
+      for (std::size_t s = 0; s < miner->shard_count(); ++s)
+        view.push_back(&miner->shard_mut(s));
+      return std::make_unique<persist::DurableMiner>(
+          std::move(miner), std::move(view), cfg, std::move(dict),
+          persist_options(opts));
     };
     built_in["nexus"] = [](const FarmerConfig& cfg,
                            std::shared_ptr<const TraceDictionary> dict,
-                           const MinerOptions&) {
-      return std::make_unique<NexusMiner>(cfg, std::move(dict));
+                           const MinerOptions& opts)
+        -> std::unique_ptr<CorrelationMiner> {
+      auto miner = std::make_unique<NexusMiner>(cfg, dict);
+      if (opts.persist_dir.empty()) return miner;
+      std::vector<Farmer*> view{miner.get()};
+      return std::make_unique<persist::DurableMiner>(
+          std::move(miner), std::move(view), cfg, std::move(dict),
+          persist_options(opts));
     };
     built_in["router"] = [](const FarmerConfig& cfg,
                             std::shared_ptr<const TraceDictionary> dict,
@@ -64,6 +100,13 @@ Registry& registry() {
       // std::invalid_argument from here, before any child is built.
       auto specs = parse_router_backends(opts.router_backends,
                                          opts.router_tenants, opts);
+      // Persistence fans out per tenant: each child owns (and recovers) its
+      // own subdirectory through its own factory path, so a mixed-backend
+      // router persists with each tenant's native mechanism.
+      if (!opts.persist_dir.empty())
+        for (std::size_t t = 0; t < specs.size(); ++t)
+          specs[t].options.persist_dir =
+              opts.persist_dir + "/tenant" + std::to_string(t);
       return std::make_unique<MinerRouter>(cfg, std::move(dict),
                                            std::move(specs),
                                            opts.router_tenant_of);
@@ -73,14 +116,21 @@ Registry& registry() {
                                 const MinerOptions& opts) {
       // max_pending / publish_max_delay_ms == 0 mean "backend default"; the
       // constructor resolves them so direct and factory construction cannot
-      // diverge.
+      // diverge. Durability is embedded, not decorated: the WAL hooks must
+      // live on the drain thread and the checkpoints off the published COW
+      // snapshots (see ConcurrentFarmer).
+      std::unique_ptr<persist::Persister> persister;
+      if (!opts.persist_dir.empty())
+        persister =
+            std::make_unique<persist::Persister>(persist_options(opts));
       return std::make_unique<ConcurrentFarmer>(cfg, std::move(dict),
                                                 opts.shards,
                                                 opts.ingest_threads,
                                                 opts.max_pending,
                                                 opts.query_cache_capacity,
                                                 opts.publish_interval_records,
-                                                opts.publish_max_delay_ms);
+                                                opts.publish_max_delay_ms,
+                                                std::move(persister));
     };
     return built_in;
   }();

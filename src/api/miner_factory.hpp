@@ -66,6 +66,24 @@ struct MinerOptions {
   /// everywhere; "router" cannot nest. Children inherit this MinerOptions
   /// (shards, cache, publish knobs). Env: FARMER_ROUTER_BACKENDS.
   std::string router_backends;
+  /// Durable persistence directory (empty = persistence off). When set,
+  /// every ingested record is WAL-appended before it is applied, the model
+  /// is checkpointed into the directory on the interval below, and
+  /// construction auto-recovers whatever the directory holds (newest valid
+  /// checkpoint + contiguous WAL tail, torn records truncated). "router"
+  /// gives each tenant its own `<dir>/tenant<t>` subdirectory. The
+  /// directory is bound to the FarmerConfig and dictionary it was written
+  /// with: recovery throws on a mismatch rather than mixing models.
+  /// Env: FARMER_PERSIST_DIR.
+  std::string persist_dir;
+  /// Checkpoint every N ingested records (0 = backend default, 65536).
+  /// Smaller = shorter WAL replay on recovery, more serialization work.
+  /// Env: FARMER_CHECKPOINT_INTERVAL.
+  std::size_t checkpoint_interval_records = 0;
+  /// fsync the WAL every N records — Pomegranate-style group commit
+  /// (0 = backend default, 4096; 1 = fsync every record).
+  /// Env: FARMER_WAL_GROUP_COMMIT.
+  std::size_t wal_group_commit = 0;
   /// Optional tenant-extraction override for "router": maps a FileId to
   /// its owning tenant; must be pure and thread-safe. Empty = contiguous
   /// FileId ranges over the dictionary's file count (hash fallback when

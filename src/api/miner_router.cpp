@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <charconv>
+#include <filesystem>
 #include <stdexcept>
 #include <utility>
 
@@ -220,6 +221,24 @@ MinerStats MinerRouter::stats() const {
     total.per_tenant.push_back(std::move(s));
   }
   return total;
+}
+
+void MinerRouter::save(const std::string& dir) {
+  std::filesystem::create_directories(dir);
+  for (std::size_t t = 0; t < children_.size(); ++t)
+    children_[t]->save(dir + "/tenant" + std::to_string(t));
+}
+
+void MinerRouter::load(const std::string& dir) {
+  for (std::size_t t = 0; t < children_.size(); ++t) {
+    const std::string child_dir = dir + "/tenant" + std::to_string(t);
+    // A missing tenant directory means that child had no durable state —
+    // its load() would recover to empty anyway, so skip the call (children
+    // without load() support would otherwise throw for nothing).
+    std::error_code ec;
+    if (!std::filesystem::exists(child_dir, ec)) continue;
+    children_[t]->load(child_dir);
+  }
 }
 
 std::size_t MinerRouter::footprint_bytes() const {

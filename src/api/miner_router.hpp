@@ -124,6 +124,14 @@ class MinerRouter final : public CorrelationMiner {
     return "router";
   }
 
+  /// Per-tenant fan-out: child t saves into `dir`/tenant<t>. Every child
+  /// must support save() (a "nexus"-like child that does not throws its own
+  /// std::logic_error).
+  void save(const std::string& dir) override;
+  /// Per-tenant fan-out of load() over the same `dir`/tenant<t> layout.
+  /// Tenant directories that do not exist recover that child to empty.
+  void load(const std::string& dir) override;
+
   // ---- router introspection ----
 
   [[nodiscard]] std::size_t tenant_count() const noexcept {

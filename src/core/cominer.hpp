@@ -59,6 +59,11 @@ class CoMiner {
 
   [[nodiscard]] const CoMinerStats& stats() const noexcept { return stats_; }
 
+  /// Recovery seam (src/persist): overwrites the counters with checkpointed
+  /// values so a restored miner reports the same efficiency stats it would
+  /// after replaying the full history.
+  void set_stats(CoMinerStats stats) noexcept { stats_ = stats; }
+
  private:
   const FarmerConfig& cfg_;
   CorrelationGraph& graph_;

@@ -3,7 +3,11 @@
 #include <algorithm>
 #include <functional>
 #include <iterator>
+#include <stdexcept>
+#include <string>
 #include <utility>
+
+#include "persist/checkpoint.hpp"
 
 namespace farmer {
 
@@ -14,9 +18,12 @@ ConcurrentFarmer::ConcurrentFarmer(FarmerConfig cfg,
                                    std::size_t max_pending,
                                    std::size_t query_cache_capacity,
                                    std::size_t publish_interval_records,
-                                   std::size_t publish_max_delay_ms)
-    : inner_(std::make_unique<ShardedFarmer>(cfg, std::move(dict), shards)),
-      correlator_capacity_(cfg.correlator_capacity),
+                                   std::size_t publish_max_delay_ms,
+                                   std::unique_ptr<persist::Persister> persister)
+    : cfg_(cfg),
+      dict_(std::move(dict)),
+      inner_(std::make_unique<ShardedFarmer>(cfg_, dict_, shards)),
+      correlator_capacity_(cfg_.correlator_capacity),
       max_pending_(max_pending == 0 ? kDefaultMaxPending : max_pending),
       publish_interval_(publish_interval_records),
       publish_max_delay_(publish_max_delay_ms == 0
@@ -24,7 +31,8 @@ ConcurrentFarmer::ConcurrentFarmer(FarmerConfig cfg,
                                    kDefaultPublishMaxDelay)
                              : std::chrono::milliseconds(
                                    publish_max_delay_ms)),
-      cache_(query_cache_capacity) {
+      cache_(query_cache_capacity),
+      persister_(std::move(persister)) {
   const std::size_t slots = ingest_queues == 0 ? 1 : ingest_queues;
   queues_.reserve(slots);
   for (std::size_t i = 0; i < slots; ++i)
@@ -34,18 +42,27 @@ ConcurrentFarmer::ConcurrentFarmer(FarmerConfig cfg,
   publish_baseline_.assign(inner_->shard_count(), {0, 0});
   last_publish_ = std::chrono::steady_clock::now();
 
-  // Publish the epoch-0 table (snapshots of the empty shards) before the
-  // drain starts, so a query can never observe a null table.
-  auto initial = std::make_shared<ShardTable>();
-  initial->shards.reserve(inner_->shard_count());
-  for (std::size_t s = 0; s < inner_->shard_count(); ++s) {
-    initial->shards.push_back(inner_->export_shard_snapshot(s));
-    const auto acct = inner_->shard_cow_accounting(s);
-    publish_baseline_[s] = {acct[0].mutations, acct[1].mutations};
+  if (persister_) {
+    // Recover the persist directory into the live miner before the epoch-0
+    // publish, so the recovered model is queryable from the first table a
+    // reader can load.
+    persist::Recovery rec = persister_->open(cfg_, dict_);
+    if (!rec.shard_blobs.empty()) {
+      if (rec.shard_blobs.size() != inner_->shard_count())
+        throw std::runtime_error(
+            "ConcurrentFarmer: checkpoint shard count mismatch (got " +
+            std::to_string(rec.shard_blobs.size()) + ", want " +
+            std::to_string(inner_->shard_count()) + ")");
+      for (std::size_t s = 0; s < inner_->shard_count(); ++s)
+        persist::deserialize_shard(rec.shard_blobs[s], inner_->shard_mut(s));
+    }
+    if (!rec.tail.empty()) inner_->observe_batch(rec.tail);
+    ckpt_thread_ = std::thread([this] { checkpoint_loop(); });
   }
-  initial->shard_epochs.assign(inner_->shard_count(), 0);
-  initial->stats.shards = inner_->shard_count();
-  table_.store(std::move(initial));
+
+  // Publish the epoch-0 table (snapshots of the empty or recovered shards)
+  // before the drain starts, so a query can never observe a null table.
+  republish_all_shards();
 
   drain_thread_ = std::thread([this] { drain_loop(); });
 }
@@ -57,6 +74,45 @@ ConcurrentFarmer::~ConcurrentFarmer() {
     wake_cv_.notify_all();
   }
   if (drain_thread_.joinable()) drain_thread_.join();
+  // The drain's final publish may have handed the worker one last job; the
+  // worker finishes any pending job before honoring the stop flag, and the
+  // Persister destructor then syncs whatever the WAL still buffers.
+  if (ckpt_thread_.joinable()) {
+    {
+      std::lock_guard<std::mutex> lk(ckpt_mu_);
+      ckpt_stop_ = true;
+    }
+    ckpt_cv_.notify_one();
+    ckpt_thread_.join();
+  }
+}
+
+void ConcurrentFarmer::republish_all_shards() {
+  const std::shared_ptr<const ShardTable> cur = table_.load();
+  auto next = std::make_shared<ShardTable>();
+  next->shards.reserve(inner_->shard_count());
+  std::uint64_t files_cloned = 0;
+  for (std::size_t s = 0; s < inner_->shard_count(); ++s) {
+    next->shards.push_back(inner_->export_shard_snapshot(s));
+    files_cloned += inner_->shard(s).cow_clones();
+    const auto acct = inner_->shard_cow_accounting(s);
+    publish_baseline_[s] = {acct[0].mutations, acct[1].mutations};
+  }
+  if (cur) {
+    next->shard_epochs = cur->shard_epochs;
+    for (std::uint64_t& e : next->shard_epochs) ++e;
+    next->epoch = cur->epoch + 1;
+  } else {
+    next->shard_epochs.assign(inner_->shard_count(), 0);
+  }
+  next->stats = inner_->stats();
+  next->stats.publishes = publishes_total_;
+  next->stats.files_cloned = files_cloned;
+  next->stats.bytes_shared = bytes_shared_total_;
+  std::fill(touched_since_publish_.begin(), touched_since_publish_.end(),
+            std::uint8_t{0});
+  table_.store(std::move(next));
+  last_publish_ = std::chrono::steady_clock::now();
 }
 
 std::size_t ConcurrentFarmer::slot_of_this_thread() const noexcept {
@@ -188,9 +244,58 @@ void ConcurrentFarmer::publish_pending() {
     std::lock_guard<std::mutex> lk(wake_mu_);
     drained_cv_.notify_all();
   }
+  // Right after a publish is the one point where appended == applied ==
+  // published, which is exactly the cut a checkpoint must capture.
+  maybe_begin_checkpoint();
+}
+
+void ConcurrentFarmer::maybe_begin_checkpoint() {
+  if (!persister_ || !persister_->checkpoint_due()) return;
+  // One checkpoint in flight at a time: while the worker is still writing,
+  // the WAL simply keeps growing and the next publish retries.
+  if (ckpt_busy_.load(std::memory_order_acquire)) return;
+  const std::uint64_t seq = persister_->begin_checkpoint();
+  const std::shared_ptr<const ShardTable> t = table_.load();
+  {
+    std::lock_guard<std::mutex> lk(ckpt_mu_);
+    ckpt_seq_ = seq;
+    ckpt_shards_ = t->shards;
+    ckpt_job_ready_ = true;
+    ckpt_busy_.store(true, std::memory_order_release);
+  }
+  ckpt_cv_.notify_one();
+}
+
+void ConcurrentFarmer::checkpoint_loop() {
+  for (;;) {
+    std::uint64_t seq = 0;
+    std::vector<std::shared_ptr<const Farmer>> shards;
+    {
+      std::unique_lock<std::mutex> lk(ckpt_mu_);
+      ckpt_cv_.wait(lk, [&] { return ckpt_job_ready_ || ckpt_stop_; });
+      if (!ckpt_job_ready_) break;  // stop requested with no pending job
+      seq = ckpt_seq_;
+      shards = std::move(ckpt_shards_);
+      ckpt_job_ready_ = false;
+    }
+    // Serialization reads only the immutable published snapshots the job
+    // captured — the heavy part of a checkpoint never stalls the drain, the
+    // producers or the queries.
+    std::vector<std::string> blobs;
+    blobs.reserve(shards.size());
+    for (const std::shared_ptr<const Farmer>& s : shards)
+      blobs.push_back(persist::serialize_shard(*s));
+    persister_->commit_checkpoint(seq, blobs);
+    ckpt_busy_.store(false, std::memory_order_release);
+  }
 }
 
 void ConcurrentFarmer::apply(const Batch& batch) {
+  // WAL before apply, on the drain thread: WAL order is exactly apply order,
+  // so the durable prefix is always a prefix of the applied history.
+  // Records still queued (accepted but not yet drained) at a crash were
+  // never appended — the documented loss window of this backend.
+  if (persister_) persister_->append(std::span<const TraceRecord>(batch));
   // The drain owns inner_ exclusively: no lock is needed to mutate it, and
   // readers only ever see the immutable table published by
   // publish_pending().
@@ -311,6 +416,65 @@ std::uint64_t ConcurrentFarmer::access_count(FileId f) const {
 double ConcurrentFarmer::access_frequency(FileId pred, FileId succ) const {
   const auto t = table();
   return ShardedFarmer::merged_access_frequency(t->shards, pred, succ);
+}
+
+void ConcurrentFarmer::save(const std::string& dir) {
+  flush();
+  // After flush() the published table covers every accepted record, and it
+  // is immutable — the checkpoint can be cut from it while ingest resumes.
+  // stats.requests is the absolute record sequence (recovered records
+  // included), which is what the checkpoint seq must be.
+  const std::shared_ptr<const ShardTable> t = table_.load();
+  std::vector<const Farmer*> view;
+  view.reserve(t->shards.size());
+  for (const std::shared_ptr<const Farmer>& s : t->shards)
+    view.push_back(s.get());
+  persist::write_checkpoint_dir(dir, t->stats.requests, cfg_, dict_.get(),
+                                std::span<const Farmer* const>(view));
+}
+
+void ConcurrentFarmer::load(const std::string& dir) {
+  if (enqueued_total_.load(std::memory_order_acquire) != 0 ||
+      table_.load()->stats.requests != 0)
+    throw std::logic_error(
+        "ConcurrentFarmer::load: miner has already ingested");
+  // Pause the drain for the model surgery; queries keep answering from the
+  // published (empty) table meanwhile.
+  stop_.store(true, std::memory_order_release);
+  {
+    std::lock_guard<std::mutex> lk(wake_mu_);
+    wake_cv_.notify_all();
+  }
+  if (drain_thread_.joinable()) drain_thread_.join();
+  stop_.store(false, std::memory_order_release);
+
+  persist::Recovery rec = persist::recover_dir(dir, cfg_, dict_.get());
+  if (!rec.shard_blobs.empty()) {
+    if (rec.shard_blobs.size() != inner_->shard_count())
+      throw std::runtime_error(
+          "ConcurrentFarmer::load: checkpoint shard count mismatch (got " +
+          std::to_string(rec.shard_blobs.size()) + ", want " +
+          std::to_string(inner_->shard_count()) + ")");
+    for (std::size_t s = 0; s < inner_->shard_count(); ++s)
+      persist::deserialize_shard(rec.shard_blobs[s], inner_->shard_mut(s));
+  }
+  if (!rec.tail.empty()) inner_->observe_batch(rec.tail);
+  republish_all_shards();
+
+  if (persister_) {
+    // Re-base the persist directory on the loaded sequence: the WAL rotates
+    // to it and a covering checkpoint is committed synchronously, so crash
+    // recovery reproduces the loaded model plus later ingest.
+    const std::uint64_t seq = rec.durable_records();
+    persister_->rebase(seq);
+    std::vector<std::string> blobs;
+    blobs.reserve(inner_->shard_count());
+    for (std::size_t s = 0; s < inner_->shard_count(); ++s)
+      blobs.push_back(persist::serialize_shard(inner_->shard(s)));
+    persister_->commit_checkpoint(seq, blobs);
+  }
+
+  drain_thread_ = std::thread([this] { drain_loop(); });
 }
 
 MinerStats ConcurrentFarmer::stats() const {

@@ -79,6 +79,7 @@
 #include "common/atomic_shared_ptr.hpp"
 #include "common/mpsc_queue.hpp"
 #include "core/sharded_farmer.hpp"
+#include "persist/persister.hpp"
 
 namespace farmer {
 
@@ -95,13 +96,22 @@ class ConcurrentFarmer final : public CorrelationMiner {
   /// Staleness deadline for coalesced publishes when none is configured.
   static constexpr std::chrono::milliseconds kDefaultPublishMaxDelay{4};
 
+  /// `persister`, when non-null, makes the backend durable: construction
+  /// recovers the persist directory into the live miner before the epoch-0
+  /// publish, every drained batch is WAL-appended (on the drain thread,
+  /// before it is applied, so WAL order == apply order), and checkpoints
+  /// are serialized off published COW snapshots on a background worker —
+  /// ingest never stops for a checkpoint. Records still queued but not yet
+  /// drained at a crash are lost; the durable prefix is always a prefix of
+  /// the applied history.
   ConcurrentFarmer(FarmerConfig cfg,
                    std::shared_ptr<const TraceDictionary> dict,
                    std::size_t shards, std::size_t ingest_queues,
                    std::size_t max_pending = kDefaultMaxPending,
                    std::size_t query_cache_capacity = 0,
                    std::size_t publish_interval_records = 0,
-                   std::size_t publish_max_delay_ms = 0);
+                   std::size_t publish_max_delay_ms = 0,
+                   std::unique_ptr<persist::Persister> persister = nullptr);
   ~ConcurrentFarmer() override;
 
   ConcurrentFarmer(const ConcurrentFarmer&) = delete;
@@ -152,6 +162,17 @@ class ConcurrentFarmer final : public CorrelationMiner {
     return "concurrent";
   }
 
+  /// Checkpoints the *published* state into `dir` (flush() first, so the
+  /// checkpoint covers every record accepted before the call).
+  void save(const std::string& dir) override;
+
+  /// Loads a persist directory into a freshly constructed miner (throws
+  /// std::logic_error after any ingest). Pauses the drain thread for the
+  /// model surgery, republishes, and — when this backend has its own
+  /// persister — re-bases the WAL on the loaded sequence and commits a
+  /// covering checkpoint.
+  void load(const std::string& dir) override;
+
   /// Number of publish rounds so far (monotone).
   [[nodiscard]] std::uint64_t epoch() const noexcept {
     return table_.load()->epoch;
@@ -194,6 +215,19 @@ class ConcurrentFarmer final : public CorrelationMiner {
   /// since the last publish, swaps the table, releases flush() waiters.
   /// No-op when nothing is unpublished.
   void publish_pending();
+  /// Drain-side checkpoint initiation: when the persister says one is due
+  /// and the worker is idle, rotate the WAL (cheap, synchronous — at this
+  /// point appended == applied == published) and hand the current table's
+  /// snapshot shared_ptrs to the worker for serialization. Skipped while a
+  /// previous checkpoint is still being written — the WAL simply grows
+  /// until the worker catches up.
+  void maybe_begin_checkpoint();
+  /// Background worker: serializes handed-off snapshots and commits the
+  /// checkpoint file; never touches live state.
+  void checkpoint_loop();
+  /// Replaces the published table with fresh COW exports of every shard
+  /// (construction and load()); resets the COW accounting baselines.
+  void republish_all_shards();
 
   /// Borrow the current table (one atomic shared_ptr load, acquire).
   [[nodiscard]] std::shared_ptr<const ShardTable> table() const {
@@ -202,6 +236,11 @@ class ConcurrentFarmer final : public CorrelationMiner {
   /// Merged list through the cache (lookup, else merge + memoize).
   [[nodiscard]] std::vector<Correlator> cached_correlators(
       FileId f, const ShardTable& t) const;
+
+  /// Retained for checkpoint writing and load(); set before inner_ so
+  /// construction-time recovery can use them.
+  const FarmerConfig cfg_;
+  std::shared_ptr<const TraceDictionary> dict_;
 
   /// Live mining state; owned exclusively by the drain thread after
   /// construction. Queries only ever read published snapshots.
@@ -255,6 +294,19 @@ class ConcurrentFarmer final : public CorrelationMiner {
   std::condition_variable drained_cv_;
 
   std::thread drain_thread_;
+
+  /// Durability (null = persistence disabled). The drain thread appends to
+  /// the WAL and initiates checkpoints; the worker thread serializes and
+  /// commits them off immutable published snapshots.
+  std::unique_ptr<persist::Persister> persister_;
+  std::atomic<bool> ckpt_busy_{false};
+  std::mutex ckpt_mu_;
+  std::condition_variable ckpt_cv_;
+  bool ckpt_stop_ = false;       // guarded by ckpt_mu_
+  bool ckpt_job_ready_ = false;  // guarded by ckpt_mu_
+  std::uint64_t ckpt_seq_ = 0;   // guarded by ckpt_mu_
+  std::vector<std::shared_ptr<const Farmer>> ckpt_shards_;  // guarded
+  std::thread ckpt_thread_;
 };
 
 }  // namespace farmer

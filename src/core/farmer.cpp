@@ -1,6 +1,10 @@
 #include "core/farmer.hpp"
 
 #include <algorithm>
+#include <stdexcept>
+
+#include "persist/checkpoint.hpp"
+#include "persist/persister.hpp"
 
 namespace farmer {
 
@@ -138,6 +142,56 @@ std::size_t Farmer::footprint_bytes() const noexcept {
   });
   footprint_cache_.store(bytes, std::memory_order_relaxed);
   return bytes;
+}
+
+void Farmer::save(const std::string& dir) {
+  const Farmer* self = this;
+  persist::write_checkpoint_dir(dir, requests_, cfg_, extractor_.dictionary(),
+                                std::span<const Farmer* const>(&self, 1));
+}
+
+void Farmer::load(const std::string& dir) {
+  if (requests_ != 0)
+    throw std::logic_error("Farmer::load: miner has already ingested");
+  persist::Recovery rec =
+      persist::recover_dir(dir, cfg_, extractor_.dictionary());
+  if (!rec.shard_blobs.empty()) {
+    if (rec.shard_blobs.size() != 1)
+      throw std::runtime_error(
+          "Farmer::load: checkpoint has more than one shard");
+    persist::deserialize_shard(rec.shard_blobs[0], *this);
+  }
+  for (const TraceRecord& r : rec.tail) observe(r);
+}
+
+void Farmer::restore_counters(std::uint64_t requests, CoMinerStats stats) {
+  requests_ = requests;
+  miner_.set_stats(stats);
+  footprint_cache_.store(kFootprintDirty, std::memory_order_relaxed);
+}
+
+void Farmer::restore_sizes(std::size_t state_size, std::size_t graph_nodes) {
+  state_.grow_to(state_size);
+  if (graph_nodes > 0)
+    graph_.touch(FileId(static_cast<std::uint32_t>(graph_nodes - 1)));
+  footprint_cache_.store(kFootprintDirty, std::memory_order_relaxed);
+}
+
+void Farmer::restore_file_state(FileId f, const SemanticVector& vec,
+                                const Signature& sig) {
+  FileState& st = state_.mutate(static_cast<std::size_t>(f.value()));
+  st.vec = vec;
+  st.sig = sig;
+  footprint_cache_.store(kFootprintDirty, std::memory_order_relaxed);
+}
+
+void Farmer::restore_window_push(FileId f) { window_.push(f); }
+
+void Farmer::restore_graph_node(FileId f, std::uint64_t access_count,
+                                std::span<const SuccessorEdge> succs,
+                                std::span<const Correlator> correlators) {
+  graph_.restore_node(f, access_count, succs, correlators);
+  footprint_cache_.store(kFootprintDirty, std::memory_order_relaxed);
 }
 
 std::array<CowStoreAccounting, 2> Farmer::cow_accounting() const noexcept {

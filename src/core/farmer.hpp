@@ -147,6 +147,56 @@ class Farmer : public CorrelationMiner {
     return state_.block_identity(static_cast<std::size_t>(f.value()));
   }
 
+  // ---- persistence (src/persist) ----------------------------------------
+
+  /// Checkpoints the full model into directory `dir`.
+  void save(const std::string& dir) override;
+  /// Restores from `dir` (newest valid checkpoint + WAL tail replay). Only
+  /// valid before any ingest; throws std::logic_error otherwise.
+  void load(const std::string& dir) override;
+
+  /// Requests observed so far — the WAL sequence domain.
+  [[nodiscard]] std::uint64_t request_count() const noexcept {
+    return requests_;
+  }
+  /// The trace dictionary this miner extracts from (may be null in tests).
+  [[nodiscard]] const TraceDictionary* dictionary() const noexcept {
+    return extractor_.dictionary();
+  }
+  [[nodiscard]] const CoMinerStats& miner_stats() const noexcept {
+    return miner_.stats();
+  }
+  [[nodiscard]] const AccessWindow& access_window() const noexcept {
+    return window_;
+  }
+  /// Logical size of the dense per-file semantic-state index (not the count
+  /// of populated entries).
+  [[nodiscard]] std::size_t state_size() const noexcept {
+    return state_.size();
+  }
+
+  /// Enumerates populated per-file semantic state in FileId order:
+  /// fn(FileId, const SemanticVector&, const Signature&).
+  template <typename Fn>
+  void for_each_file_state(Fn&& fn) const {
+    for (std::size_t i = 0; i < state_.size(); ++i)
+      if (const FileState* st = state_.find(i))
+        fn(FileId(static_cast<std::uint32_t>(i)), st->vec, st->sig);
+  }
+
+  /// Restore seams — persist::deserialize_shard is the only intended caller;
+  /// each call dirties the footprint memo. Byte-identical recovery depends
+  /// on these reproducing internal state exactly (window order, successor
+  /// order, Correlator-List order, dense-index logical sizes).
+  void restore_counters(std::uint64_t requests, CoMinerStats stats);
+  void restore_sizes(std::size_t state_size, std::size_t graph_nodes);
+  void restore_file_state(FileId f, const SemanticVector& vec,
+                          const Signature& sig);
+  void restore_window_push(FileId f);
+  void restore_graph_node(FileId f, std::uint64_t access_count,
+                          std::span<const SuccessorEdge> succs,
+                          std::span<const Correlator> correlators);
+
  private:
   /// Semantic state of one file as of its most recent access: the raw
   /// vector and its prebuilt signature under (attributes, path_mode). Block

@@ -1,7 +1,11 @@
 #include "core/sharded_farmer.hpp"
 
+#include <stdexcept>
+
 #include "common/hash.hpp"
 #include "common/parallel.hpp"
+#include "persist/checkpoint.hpp"
+#include "persist/persister.hpp"
 
 namespace farmer {
 
@@ -60,6 +64,29 @@ MinerStats ShardedFarmer::stats() const {
   // epoch/pending/cache counters stay at their explicit zero defaults and
   // shard_epochs stays empty (see the MinerStats field contract).
   return total;
+}
+
+void ShardedFarmer::save(const std::string& dir) {
+  std::vector<const Farmer*> view;
+  view.reserve(shards_.size());
+  for (const auto& s : shards_) view.push_back(s.get());
+  persist::write_checkpoint_dir(dir, stats().requests, cfg_,
+                                shards_.front()->dictionary(), view);
+}
+
+void ShardedFarmer::load(const std::string& dir) {
+  if (stats().requests != 0)
+    throw std::logic_error("ShardedFarmer::load: miner has already ingested");
+  persist::Recovery rec =
+      persist::recover_dir(dir, cfg_, shards_.front()->dictionary());
+  if (!rec.shard_blobs.empty()) {
+    if (rec.shard_blobs.size() != shards_.size())
+      throw std::runtime_error(
+          "ShardedFarmer::load: checkpoint shard count mismatch");
+    for (std::size_t s = 0; s < shards_.size(); ++s)
+      persist::deserialize_shard(rec.shard_blobs[s], *shards_[s]);
+  }
+  observe_batch(rec.tail);
 }
 
 std::size_t ShardedFarmer::footprint_bytes() const noexcept {

@@ -76,6 +76,16 @@ class ShardedFarmer final : public CorrelationMiner {
   [[nodiscard]] const Farmer& shard(std::size_t i) const {
     return *shards_.at(i);
   }
+  /// Mutable shard access — the recovery path (src/persist) deserializes
+  /// checkpoint blobs straight into the shards; nothing else should mutate
+  /// a shard from outside.
+  [[nodiscard]] Farmer& shard_mut(std::size_t i) { return *shards_.at(i); }
+
+  /// Checkpoints every shard into directory `dir`.
+  void save(const std::string& dir) override;
+  /// Restores from `dir`; shard count must match the checkpoint's. Only
+  /// valid before any ingest; throws std::logic_error otherwise.
+  void load(const std::string& dir) override;
   [[nodiscard]] std::size_t footprint_bytes() const noexcept override;
 
   /// Shard a record routes to (mix64 of the process id). Exposed so the

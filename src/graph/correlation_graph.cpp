@@ -106,6 +106,19 @@ void CorrelationGraph::upsert_correlator(FileId f, Correlator c) {
   while (list.size() > cfg_.correlator_capacity) list.pop_back();
 }
 
+void CorrelationGraph::restore_node(FileId f, std::uint64_t access_count,
+                                    std::span<const SuccessorEdge> succs,
+                                    std::span<const Correlator> correlators) {
+  assert(!has_node(f));
+  Node& node = at(f);
+  node.access_count = access_count;
+  node.successors.reserve(succs.size());
+  for (const SuccessorEdge& e : succs) node.successors.push_back(e);
+  node.correlator_list.reserve(correlators.size());
+  for (const Correlator& c : correlators) node.correlator_list.push_back(c);
+  edges_ += succs.size();
+}
+
 void CorrelationGraph::remove_correlator(FileId f, FileId succ) {
   auto& list = at(f).correlator_list;
   for (std::size_t i = 0; i < list.size(); ++i) {

@@ -24,6 +24,7 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "common/cow_store.hpp"
@@ -104,6 +105,21 @@ class CorrelationGraph {
 
   /// Removes the entry for `succ` from f's list if present.
   void remove_correlator(FileId f, FileId succ);
+
+  /// True when `f` has a populated node block (an access or an incoming
+  /// transition created one); slots grown only by `touch()` read as absent.
+  [[nodiscard]] bool has_node(FileId f) const noexcept {
+    return find(f) != nullptr;
+  }
+
+  /// Recovery seam (src/persist): recreates f's node exactly as checkpointed
+  /// — access count, successor edges, and the Correlator List, both in their
+  /// stored order (edge order decides eviction ties; list order is the query
+  /// output). Only valid on a node not yet populated; the edge counter grows
+  /// by `succs.size()`.
+  void restore_node(FileId f, std::uint64_t access_count,
+                    std::span<const SuccessorEdge> succs,
+                    std::span<const Correlator> correlators);
 
   [[nodiscard]] std::size_t node_count() const noexcept {
     return nodes_.size();

@@ -17,9 +17,27 @@ namespace farmer {
 
 class LogStore final : public KvStore {
  public:
+  /// How far `sync()` pushes appended records.
+  enum class Durability {
+    kBuffered,  ///< fflush only: survives the process, not the machine
+    kFsync,     ///< fflush + fdatasync: survives power loss (WAL group commit)
+  };
+
+  /// Whether the store maintains its in-memory key→value index.
+  enum class IndexMode {
+    kIndexed,     ///< default: get/scan/erase/compact work (Berkeley-DB use)
+    kAppendOnly,  ///< write-optimized WAL segment: put() only appends; the
+                  ///< replay still validates and truncates the torn tail,
+                  ///< but get()/scan() see nothing, size() is 0, erase() is
+                  ///< a no-op and compact() reclaims nothing. Reopen in
+                  ///< kIndexed mode to read the contents back.
+  };
+
   /// Opens (creating if needed) the log at `path` and replays it.
   /// Throws std::runtime_error on unrecoverable I/O errors.
-  explicit LogStore(std::string path);
+  explicit LogStore(std::string path,
+                    Durability durability = Durability::kBuffered,
+                    IndexMode index_mode = IndexMode::kIndexed);
   ~LogStore() override;
   LogStore(const LogStore&) = delete;
   LogStore& operator=(const LogStore&) = delete;
@@ -33,7 +51,8 @@ class LogStore final : public KvStore {
             const std::function<bool(std::uint64_t, std::string_view)>& fn)
       const override;
 
-  /// Flushes buffered appends to the OS.
+  /// Flushes buffered appends to the OS; in `Durability::kFsync` mode also
+  /// fdatasync()s them to stable storage before returning.
   void sync();
 
   /// Rewrites the log with only live records; returns reclaimed bytes.
@@ -49,8 +68,11 @@ class LogStore final : public KvStore {
   void replay();
 
   std::string path_;
+  Durability durability_ = Durability::kBuffered;
+  IndexMode index_mode_ = IndexMode::kIndexed;
   std::FILE* file_ = nullptr;
   std::unordered_map<std::uint64_t, std::string> index_;
+  std::string write_buf_;  // reused per append: one fwrite per record
   std::size_t recovered_ = 0;
   std::size_t dead_bytes_ = 0;
 };

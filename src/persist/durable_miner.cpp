@@ -1,0 +1,64 @@
+#include "persist/durable_miner.hpp"
+
+#include <stdexcept>
+
+#include "core/farmer.hpp"
+#include "persist/checkpoint.hpp"
+
+namespace farmer::persist {
+
+DurableMiner::DurableMiner(std::unique_ptr<CorrelationMiner> inner,
+                           std::vector<Farmer*> shard_view, FarmerConfig cfg,
+                           std::shared_ptr<const TraceDictionary> dict,
+                           Options opts)
+    : inner_(std::move(inner)),
+      shard_view_(std::move(shard_view)),
+      persister_(std::move(opts)) {
+  if (shard_view_.empty())
+    throw std::invalid_argument("DurableMiner: empty shard view");
+  Recovery rec = persister_.open(cfg, std::move(dict));
+  if (!rec.shard_blobs.empty()) {
+    if (rec.shard_blobs.size() != shard_view_.size())
+      throw std::runtime_error(
+          "DurableMiner: checkpoint shard count mismatch (got " +
+          std::to_string(rec.shard_blobs.size()) + ", want " +
+          std::to_string(shard_view_.size()) + ")");
+    for (std::size_t s = 0; s < shard_view_.size(); ++s)
+      deserialize_shard(rec.shard_blobs[s], *shard_view_[s]);
+  }
+  if (!rec.tail.empty()) inner_->observe_batch(rec.tail);
+}
+
+void DurableMiner::observe(const TraceRecord& rec) {
+  persister_.append(std::span<const TraceRecord>(&rec, 1));
+  inner_->observe(rec);
+  maybe_checkpoint();
+}
+
+void DurableMiner::observe_batch(std::span<const TraceRecord> records) {
+  persister_.append(records);
+  inner_->observe_batch(records);
+  maybe_checkpoint();
+}
+
+void DurableMiner::load(const std::string& dir) {
+  inner_->load(dir);
+  const std::uint64_t seq = inner_->stats().requests;
+  persister_.rebase(seq);
+  checkpoint_now(seq);
+}
+
+void DurableMiner::maybe_checkpoint() {
+  if (!persister_.checkpoint_due()) return;
+  checkpoint_now(persister_.begin_checkpoint());
+}
+
+void DurableMiner::checkpoint_now(std::uint64_t seq) {
+  std::vector<std::string> blobs;
+  blobs.reserve(shard_view_.size());
+  for (const Farmer* shard : shard_view_)
+    blobs.push_back(serialize_shard(*shard));
+  persister_.commit_checkpoint(seq, blobs);
+}
+
+}  // namespace farmer::persist

@@ -1,0 +1,94 @@
+// Durability decorator for synchronous backends ("farmer", "sharded",
+// "nexus"): WAL-append every record before applying it, checkpoint inline
+// when the interval elapses, auto-recover from the persist directory on
+// construction.
+//
+// The decorator preserves the synchronous single-threaded contract — the
+// WAL append, the apply and the occasional inline checkpoint all run on the
+// caller's thread, so WAL order is apply order by construction and the
+// durable prefix is always a prefix of the applied history. The concurrent
+// backend does NOT use this decorator: its WAL hooks live on the drain
+// thread and its checkpoints run off published COW snapshots on a worker
+// (see ConcurrentFarmer).
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "api/correlation_miner.hpp"
+#include "persist/persister.hpp"
+
+namespace farmer {
+
+class Farmer;
+
+namespace persist {
+
+class DurableMiner final : public CorrelationMiner {
+ public:
+  /// `shard_view` lists the Farmer shards inside `inner` in shard order
+  /// (one entry for an unsharded backend) — the factory knows the concrete
+  /// types and builds the view; this class only needs the serialization
+  /// surface. Construction runs recovery: the newest valid checkpoint is
+  /// deserialized into the shards and the WAL tail replayed through
+  /// `inner`, so the miner resumes exactly where the durable prefix ended.
+  DurableMiner(std::unique_ptr<CorrelationMiner> inner,
+               std::vector<Farmer*> shard_view, FarmerConfig cfg,
+               std::shared_ptr<const TraceDictionary> dict, Options opts);
+
+  void observe(const TraceRecord& rec) override;
+  void observe_batch(std::span<const TraceRecord> records) override;
+  void flush() override { inner_->flush(); }
+
+  [[nodiscard]] CorrelatorView snapshot(FileId f) const override {
+    return inner_->snapshot(f);
+  }
+  [[nodiscard]] double correlation_degree(FileId a, FileId b) const override {
+    return inner_->correlation_degree(a, b);
+  }
+  [[nodiscard]] double semantic_similarity(FileId a, FileId b) const override {
+    return inner_->semantic_similarity(a, b);
+  }
+  [[nodiscard]] std::uint64_t access_count(FileId f) const override {
+    return inner_->access_count(f);
+  }
+  [[nodiscard]] double access_frequency(FileId pred,
+                                        FileId succ) const override {
+    return inner_->access_frequency(pred, succ);
+  }
+  [[nodiscard]] MinerStats stats() const override { return inner_->stats(); }
+  [[nodiscard]] std::size_t footprint_bytes() const override {
+    return inner_->footprint_bytes();
+  }
+  /// Keeps the factory-name contract: a persist-enabled "sharded" miner
+  /// still reports "sharded".
+  [[nodiscard]] const char* name() const noexcept override {
+    return inner_->name();
+  }
+
+  /// Checkpoints into an arbitrary directory (independent of the persist
+  /// directory) by delegating to the wrapped backend.
+  void save(const std::string& dir) override { inner_->save(dir); }
+
+  /// Loads external state, then re-bases the persist directory on it: the
+  /// WAL rotates to the loaded sequence and a covering checkpoint is
+  /// committed, so subsequent crash recovery reproduces the loaded model
+  /// plus whatever was ingested after.
+  void load(const std::string& dir) override;
+
+  /// The wrapped backend (tests).
+  [[nodiscard]] const CorrelationMiner& inner() const noexcept {
+    return *inner_;
+  }
+
+ private:
+  void maybe_checkpoint();
+  void checkpoint_now(std::uint64_t seq);
+
+  std::unique_ptr<CorrelationMiner> inner_;
+  std::vector<Farmer*> shard_view_;
+  Persister persister_;
+};
+
+}  // namespace persist
+}  // namespace farmer

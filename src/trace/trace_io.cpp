@@ -42,16 +42,7 @@ std::string get_string(std::istream& is) {
 
 }  // namespace
 
-void write_trace_binary(const Trace& trace, const std::string& path) {
-  std::ofstream os(path, std::ios::binary | std::ios::trunc);
-  if (!os) throw std::runtime_error("cannot open for write: " + path);
-  put(os, kMagic);
-  put(os, kVersion);
-  put_string(os, trace.name);
-  put<std::uint8_t>(os, static_cast<std::uint8_t>(trace.kind));
-  put<std::uint8_t>(os, trace.has_paths ? 1 : 0);
-
-  const TraceDictionary& d = *trace.dict;
+void write_dictionary(std::ostream& os, const TraceDictionary& d) {
   put<std::uint32_t>(os, static_cast<std::uint32_t>(d.tokens.size()));
   for (std::uint32_t i = 0; i < d.tokens.size(); ++i)
     put_string(os, d.tokens.resolve(TokenId(i)));
@@ -71,27 +62,9 @@ void write_trace_binary(const Trace& trace, const std::string& path) {
     put<std::uint32_t>(os, f.size_bytes);
     put<std::uint8_t>(os, f.read_only ? 1 : 0);
   }
-
-  put<std::uint64_t>(os, trace.records.size());
-  for (const TraceRecord& r : trace.records) put(os, r);
-  if (!os) throw std::runtime_error("short write: " + path);
 }
 
-Trace read_trace_binary(const std::string& path) {
-  std::ifstream is(path, std::ios::binary);
-  if (!is) throw std::runtime_error("cannot open for read: " + path);
-  if (get<std::uint32_t>(is) != kMagic)
-    throw std::runtime_error("not a farmer trace: " + path);
-  if (get<std::uint32_t>(is) != kVersion)
-    throw std::runtime_error("unsupported trace version: " + path);
-
-  Trace trace;
-  trace.name = get_string(is);
-  trace.kind = static_cast<TraceKind>(get<std::uint8_t>(is));
-  trace.has_paths = get<std::uint8_t>(is) != 0;
-  trace.dict = std::make_shared<TraceDictionary>();
-  TraceDictionary& d = *trace.dict;
-
+void read_dictionary(std::istream& is, TraceDictionary& d) {
   const auto ntokens = get<std::uint32_t>(is);
   for (std::uint32_t i = 0; i < ntokens; ++i) {
     const TokenId id = d.tokens.intern(get_string(is));
@@ -121,6 +94,51 @@ Trace read_trace_binary(const std::string& path) {
     f.read_only = get<std::uint8_t>(is) != 0;
     d.files.push_back(f);
   }
+}
+
+void encode_record(const TraceRecord& rec, std::string& out) {
+  static_assert(std::is_trivially_copyable_v<TraceRecord>);
+  out.append(reinterpret_cast<const char*>(&rec), sizeof rec);
+}
+
+TraceRecord decode_record(std::string_view bytes) {
+  if (bytes.size() != kTraceRecordBytes)
+    throw std::runtime_error("trace record blob has wrong size");
+  TraceRecord rec;
+  std::memcpy(&rec, bytes.data(), sizeof rec);
+  return rec;
+}
+
+void write_trace_binary(const Trace& trace, const std::string& path) {
+  std::ofstream os(path, std::ios::binary | std::ios::trunc);
+  if (!os) throw std::runtime_error("cannot open for write: " + path);
+  put(os, kMagic);
+  put(os, kVersion);
+  put_string(os, trace.name);
+  put<std::uint8_t>(os, static_cast<std::uint8_t>(trace.kind));
+  put<std::uint8_t>(os, trace.has_paths ? 1 : 0);
+
+  write_dictionary(os, *trace.dict);
+
+  put<std::uint64_t>(os, trace.records.size());
+  for (const TraceRecord& r : trace.records) put(os, r);
+  if (!os) throw std::runtime_error("short write: " + path);
+}
+
+Trace read_trace_binary(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  if (!is) throw std::runtime_error("cannot open for read: " + path);
+  if (get<std::uint32_t>(is) != kMagic)
+    throw std::runtime_error("not a farmer trace: " + path);
+  if (get<std::uint32_t>(is) != kVersion)
+    throw std::runtime_error("unsupported trace version: " + path);
+
+  Trace trace;
+  trace.name = get_string(is);
+  trace.kind = static_cast<TraceKind>(get<std::uint8_t>(is));
+  trace.has_paths = get<std::uint8_t>(is) != 0;
+  trace.dict = std::make_shared<TraceDictionary>();
+  read_dictionary(is, *trace.dict);
 
   const auto nrecords = get<std::uint64_t>(is);
   trace.records.reserve(nrecords);

@@ -7,10 +7,33 @@
 
 #include <iosfwd>
 #include <string>
+#include <string_view>
 
 #include "trace/record.hpp"
 
 namespace farmer {
+
+/// Writes just the dictionary section (token table, path components, file
+/// metadata) in the binary format. Shared between trace files and the
+/// persistence subsystem's checkpoints, which embed the dictionary so a
+/// checkpoint is self-describing. Throws std::runtime_error on I/O failure.
+void write_dictionary(std::ostream& os, const TraceDictionary& dict);
+
+/// Reads a dictionary previously written by `write_dictionary` into `dict`
+/// (which must be empty). Throws std::runtime_error on truncation or a
+/// corrupt token table.
+void read_dictionary(std::istream& is, TraceDictionary& dict);
+
+/// Fixed-size raw encoding of one TraceRecord — the same layout
+/// `write_trace_binary` streams and the layout WAL values use.
+inline constexpr std::size_t kTraceRecordBytes = sizeof(TraceRecord);
+
+/// Appends the raw encoding of `rec` to `out`.
+void encode_record(const TraceRecord& rec, std::string& out);
+
+/// Decodes a record encoded by `encode_record`. Throws std::runtime_error
+/// when `bytes` is not exactly `kTraceRecordBytes` long.
+[[nodiscard]] TraceRecord decode_record(std::string_view bytes);
 
 /// Writes `trace` in the binary format. Throws std::runtime_error on I/O
 /// failure.

@@ -136,7 +136,12 @@ TEST(BTree, ExtremeKeysWork) {
 class LogStoreTest : public ::testing::Test {
  protected:
   void TearDown() override { std::remove(path_.c_str()); }
-  std::string path_ = ::testing::TempDir() + "farmer_log_test.db";
+  // Per-test file name: ctest runs each test as its own process, so a
+  // shared name would race under a parallel ctest invocation.
+  std::string path_ =
+      ::testing::TempDir() + "farmer_log_test_" +
+      ::testing::UnitTest::GetInstance()->current_test_info()->name() +
+      ".db";
 };
 
 TEST_F(LogStoreTest, PutGetErase) {
@@ -227,6 +232,92 @@ TEST_F(LogStoreTest, EmptyValueRoundTrip) {
   LogStore reopened(path_);
   ASSERT_TRUE(reopened.get(1).has_value());
   EXPECT_EQ(*reopened.get(1), "");
+}
+
+TEST_F(LogStoreTest, FsyncModeRoundTrip) {
+  {
+    LogStore s(path_, LogStore::Durability::kFsync);
+    s.put(1, "stale");
+    s.put(1, "durable");
+    s.put(2, "records");
+    s.sync();
+    EXPECT_GT(s.compact(), 0u);  // exercises the fsync'd compaction path
+    s.put(3, "after");
+    s.sync();
+  }
+  LogStore reopened(path_, LogStore::Durability::kFsync);
+  EXPECT_EQ(*reopened.get(1), "durable");
+  EXPECT_EQ(*reopened.get(2), "records");
+  EXPECT_EQ(*reopened.get(3), "after");
+}
+
+// Torn-write fuzz: truncate a valid log at EVERY byte offset inside the
+// last few records and assert reopening always recovers the longest prefix
+// of fully contained records — never more, never fewer, never a crash.
+TEST_F(LogStoreTest, TruncationAtEveryOffsetRecoversLongestValidPrefix) {
+  // Record i is appended at offset boundaries_[i] (boundaries_[n] = EOF), so
+  // a cut at byte b recovers exactly the records whose end is <= b.
+  std::vector<long> boundaries;
+  constexpr int kRecords = 6;
+  {
+    LogStore s(path_);
+    for (int i = 0; i < kRecords; ++i) {
+      s.put(static_cast<std::uint64_t>(i + 1),
+            "value-" + std::string(static_cast<std::size_t>(i * 3), 'x'));
+      s.sync();
+      std::FILE* f = std::fopen(path_.c_str(), "rb");
+      ASSERT_NE(f, nullptr);
+      ASSERT_EQ(std::fseek(f, 0, SEEK_END), 0);
+      boundaries.push_back(std::ftell(f));
+      std::fclose(f);
+    }
+  }
+  // Read the pristine image once; every iteration rewrites a truncated copy.
+  std::string image;
+  {
+    std::FILE* f = std::fopen(path_.c_str(), "rb");
+    ASSERT_NE(f, nullptr);
+    char buf[4096];
+    std::size_t n = 0;
+    while ((n = std::fread(buf, 1, sizeof buf, f)) > 0) image.append(buf, n);
+    std::fclose(f);
+  }
+  ASSERT_EQ(static_cast<long>(image.size()), boundaries.back());
+
+  const std::string cut_path = path_ + ".cut";
+  for (std::size_t cut = 0; cut <= image.size(); ++cut) {
+    {
+      std::FILE* f = std::fopen(cut_path.c_str(), "wb");
+      ASSERT_NE(f, nullptr);
+      if (cut > 0) {
+        ASSERT_EQ(std::fwrite(image.data(), 1, cut, f), cut);
+      }
+      std::fclose(f);
+    }
+    std::size_t expect = 0;
+    while (expect < boundaries.size() &&
+           boundaries[expect] <= static_cast<long>(cut))
+      ++expect;
+
+    LogStore recovered(cut_path);
+    EXPECT_EQ(recovered.recovered_records(), expect) << "cut at " << cut;
+    for (std::size_t i = 0; i < kRecords; ++i) {
+      const auto got = recovered.get(i + 1);
+      if (i < expect) {
+        ASSERT_TRUE(got.has_value()) << "cut at " << cut << ", key " << i + 1;
+        EXPECT_EQ(*got, "value-" + std::string(i * 3, 'x'));
+      } else {
+        EXPECT_FALSE(got.has_value()) << "cut at " << cut << ", key "
+                                      << i + 1;
+      }
+    }
+    // The truncated store must stay appendable.
+    recovered.put(99, "appended-after-recovery");
+    recovered.sync();
+    LogStore again(cut_path);
+    EXPECT_EQ(*again.get(99), "appended-after-recovery");
+  }
+  std::remove(cut_path.c_str());
 }
 
 }  // namespace
