@@ -33,6 +33,16 @@
 //      paths), the cost of one full-model checkpoint save, and recovery
 //      wall-clock from a checkpoint alone vs a checkpoint plus a WAL tail
 //      (~40% of the trace) that must be replayed.
+//   6. Disk replay (the out-of-core pipeline): a multi-tenant trace is
+//      streamed to per-tenant v3 part files (stream_multi_tenant_trace),
+//      externally merged by timestamp (merge_trace_streams), then the
+//      merged file is mmap'd and its record span fed to every backend —
+//      sharded/concurrent/router, with and without WAL + checkpoints —
+//      next to an in-memory sharded baseline over the materialized trace.
+//      FARMER_TRACE_DIR / FARMER_TRACE_TENANTS / FARMER_TRACE_ROUNDS size
+//      and place the trace (see bench_util.hpp); with FARMER_TRACE_DIR set
+//      an existing merged trace is reused and the generate/merge rows are
+//      skipped, so a multi-GB trace is built once and replayed many times.
 //
 // `--json` replaces the human tables with one machine-readable JSON
 // document (scripts/bench_to_json.py validates/normalizes it into the
@@ -41,11 +51,13 @@
 
 #include <atomic>
 #include <filesystem>
+#include <fstream>
 #include <shared_mutex>
 
 #include "common/stats.hpp"
 #include "common/zipf.hpp"
 #include "core/concurrent_farmer.hpp"
+#include "trace/trace_stream.hpp"
 
 namespace {
 
@@ -647,6 +659,134 @@ int main(int argc, char** argv) {
     fs::remove_all(base, ec);
   }
 
+  // ------------------------------------------------------------ disk replay --
+  // The out-of-core pipeline end to end. Replay rows feed the miner straight
+  // from the merged file's mmap'd record span (no Trace materialized); the
+  // in-memory row is the same chunked sharded ingest over a materialized
+  // Trace, so the pair isolates the cost of reading records off the mapping.
+  Table disk_replay({"scenario", "records", "seconds", "records/s"});
+  {
+    namespace fs = std::filesystem;
+    const std::string custom_dir = trace_dir();
+    const bool keep = !custom_dir.empty();
+    const fs::path dir = keep ? fs::path(custom_dir)
+                              : fs::temp_directory_path() /
+                                    "farmer_bench_trace";
+    std::error_code ec;
+    if (!keep) fs::remove_all(dir, ec);
+    fs::create_directories(dir);
+    const fs::path merged_path = dir / "merged.ftrace";
+    const fs::path ranges_path = dir / "file_begin.txt";
+
+    const auto add_replay_row = [&](const std::string& label,
+                                    std::uint64_t records, double secs) {
+      disk_replay.add_row({label, std::to_string(records),
+                           fmt_double(secs, 3),
+                           fmt_double(static_cast<double>(records) / secs,
+                                      0)});
+    };
+
+    // Ground-truth tenant FileId range starts; regenerated with the trace
+    // or reloaded from the sidecar when an existing trace is reused (the
+    // router row needs them).
+    std::vector<std::uint32_t> file_begin;
+    if (keep && fs::exists(merged_path) && fs::exists(ranges_path)) {
+      std::ifstream rf(ranges_path);
+      std::uint32_t v = 0;
+      while (rf >> v) file_begin.push_back(v);
+      if (file_begin.size() < 2) {
+        std::cerr << "corrupt " << ranges_path
+                  << ": regenerate the trace directory\n";
+        return 2;
+      }
+    } else {
+      static const TraceKind kTenantKinds[] = {TraceKind::kHP,
+                                               TraceKind::kINS,
+                                               TraceKind::kRES,
+                                               TraceKind::kLLNL};
+      StreamedTraceSpec spec;
+      const std::size_t ntenants = trace_tenants();
+      for (std::size_t t = 0; t < ntenants; ++t)
+        spec.tenants.push_back(kTenantKinds[t % 4]);
+      spec.seed = kExperimentSeed;
+      spec.scale = bench_scale();
+      spec.rounds = trace_rounds();
+
+      auto t0 = std::chrono::steady_clock::now();
+      const StreamedMultiTenantTrace streamed =
+          stream_multi_tenant_trace(spec, dir.string());
+      auto t1 = std::chrono::steady_clock::now();
+      add_replay_row("generate (streamed)", streamed.records_written,
+                     std::chrono::duration<double>(t1 - t0).count());
+
+      t0 = std::chrono::steady_clock::now();
+      const std::uint64_t merged = merge_trace_streams(
+          streamed.part_paths, merged_path.string(), streamed.name);
+      t1 = std::chrono::steady_clock::now();
+      add_replay_row("merge (k-way)", merged,
+                     std::chrono::duration<double>(t1 - t0).count());
+
+      file_begin = streamed.file_begin;
+      std::ofstream rf(ranges_path, std::ios::trunc);
+      for (const std::uint32_t v : file_begin) rf << v << "\n";
+    }
+
+    const TraceReader reader(merged_path.string());
+    const std::span<const TraceRecord> records = reader.records();
+    const std::uint64_t n = records.size();
+    FarmerConfig rcfg;
+    rcfg.attributes = reader.has_paths() ? AttributeMask::all_with_path()
+                                         : AttributeMask::all_with_fileid();
+    const fs::path pbase = dir / "persist";
+    fs::remove_all(pbase, ec);
+
+    MinerOptions ropts = opts;
+    ropts.ingest_threads = kProducers;
+    {
+      const Trace mem = reader.materialize();
+      const auto miner = make_miner("sharded", rcfg, mem.dict, ropts);
+      add_replay_row("ingest sharded (in-memory)", n,
+                     span_replay(*miner, mem.records));
+    }
+    {
+      const auto miner = make_miner("sharded", rcfg, reader.dict(), ropts);
+      add_replay_row("replay sharded (mmap)", n, span_replay(*miner, records));
+    }
+    {
+      MinerOptions durable = ropts;
+      durable.persist_dir = (pbase / "sharded").string();
+      const auto miner = make_miner("sharded", rcfg, reader.dict(), durable);
+      add_replay_row("replay sharded (wal+ckpt)", n,
+                     span_replay(*miner, records));
+    }
+    {
+      const auto miner = make_miner("concurrent", rcfg, reader.dict(), ropts);
+      add_replay_row("replay concurrent x4 (mmap)", n,
+                     span_replay_concurrent(*miner, records, kProducers));
+    }
+    {
+      MinerOptions durable = ropts;
+      durable.persist_dir = (pbase / "concurrent").string();
+      const auto miner =
+          make_miner("concurrent", rcfg, reader.dict(), durable);
+      add_replay_row("replay concurrent x4 (wal+ckpt)", n,
+                     span_replay_concurrent(*miner, records, kProducers));
+    }
+    {
+      MinerOptions router = ropts;
+      router.router_tenants = file_begin.size() - 1;
+      router.router_backends = "concurrent";
+      router.router_tenant_of = [begins = file_begin](FileId f) {
+        return tenant_of_ranges(begins, f);
+      };
+      const auto miner = make_miner("router", rcfg, reader.dict(), router);
+      add_replay_row("replay router (concurrent)", n,
+                     span_replay_concurrent(*miner, records, kProducers));
+    }
+    fs::remove_all(pbase, ec);
+    if (!keep) fs::remove_all(dir, ec);
+  }
+
   if (json) {
     std::cout << "{\"bench\": \"bench_ingest_throughput\", \"scale\": "
               << bench_scale() << ", \"publish_files\": " << publish_files
@@ -660,6 +800,8 @@ int main(int argc, char** argv) {
     tenants_tbl.print_json(std::cout, "multi_tenant");
     std::cout << ", ";
     recovery.print_json(std::cout, "recovery");
+    std::cout << ", ";
+    disk_replay.print_json(std::cout, "disk_replay");
     std::cout << "]}\n";
     return 0;
   }
@@ -677,6 +819,13 @@ int main(int argc, char** argv) {
                "(checkpoint deserialization vs checkpoint + ~40%-of-trace "
                "WAL replay):\n\n";
   recovery.print(std::cout);
+
+  std::cout << "\nDisk replay: streamed generate → external k-way merge → "
+               "mmap replay of the merged v3 trace into every backend, vs "
+               "the same ingest over an in-memory Trace (FARMER_TRACE_DIR / "
+               "FARMER_TRACE_TENANTS / FARMER_TRACE_ROUNDS size and place "
+               "the trace):\n\n";
+  disk_replay.print(std::cout);
 
   std::cout << "\nNote: FARMER_SHARDS (default 4) sets the mining "
                "partitions for both backends; producer counts above the "

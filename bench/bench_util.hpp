@@ -130,6 +130,36 @@ inline void env_size_into(const char* var, std::size_t& out,
   out = static_cast<std::size_t>(n);
 }
 
+/// Disk-replay controls for bench_ingest_throughput's disk_replay table
+/// (the out-of-core generate→merge→replay pipeline):
+///   FARMER_TRACE_DIR=<path>   (default: a fresh temp directory, removed
+///                              afterwards. When set, the directory is kept
+///                              and an existing merged trace is reused, so
+///                              a multi-GB trace is generated once and
+///                              replayed by every subsequent run.)
+///   FARMER_TRACE_TENANTS=<n>  (default 2, max 4: tenant streams mixed into
+///                              the replayed trace, cycling LLNL/INS/RES/HP)
+///   FARMER_TRACE_ROUNDS=<n>   (default 1: workload rounds per tenant;
+///                              record volume scales linearly, generator
+///                              memory does not — raise this to build
+///                              multi-GB traces)
+inline std::string trace_dir() {
+  const char* d = std::getenv("FARMER_TRACE_DIR");
+  return (d && *d) ? d : "";
+}
+
+inline std::size_t trace_tenants() {
+  std::size_t n = 2;
+  env_size_into("FARMER_TRACE_TENANTS", n, /*max_value=*/4);
+  return n;
+}
+
+inline std::size_t trace_rounds() {
+  std::size_t n = 1;
+  env_size_into("FARMER_TRACE_ROUNDS", n, /*max_value=*/1u << 20);
+  return n;
+}
+
 inline MinerOptions miner_options() {
   MinerOptions opts;
   env_size_into("FARMER_SHARDS", opts.shards);
@@ -244,6 +274,56 @@ inline double concurrent_replay(CorrelationMiner& miner,
     });
   }
   for (auto& t : producers) t.join();
+  miner.flush();
+  const auto end = std::chrono::steady_clock::now();
+  return std::chrono::duration<double>(end - start).count();
+}
+
+/// Single-threaded replay driver over a borrowed record span — the span
+/// can point straight into a TraceReader mapping, so disk replay feeds the
+/// miner without materializing a Trace. Returns wall-clock seconds for
+/// ingest+flush.
+inline double span_replay(CorrelationMiner& miner,
+                          std::span<const TraceRecord> records,
+                          std::size_t chunk = 1024) {
+  const auto start = std::chrono::steady_clock::now();
+  for (std::size_t i = 0; i < records.size(); i += chunk)
+    miner.observe_batch(records.subspan(i, std::min(chunk,
+                                                    records.size() - i)));
+  miner.flush();
+  const auto end = std::chrono::steady_clock::now();
+  return std::chrono::duration<double>(end - start).count();
+}
+
+/// Multi-threaded replay driver over a borrowed record span: `producers`
+/// threads each scan the (shared, read-only) span and push the records of
+/// their process-id partition in `chunk`-sized batches — the same stream
+/// affinity as partition_by_process, without copying partitions out first.
+inline double span_replay_concurrent(CorrelationMiner& miner,
+                                     std::span<const TraceRecord> records,
+                                     std::size_t producers,
+                                     std::size_t chunk = 256) {
+  if (producers == 0) producers = 1;
+  const auto start = std::chrono::steady_clock::now();
+  std::vector<std::thread> threads;
+  threads.reserve(producers);
+  for (std::size_t p = 0; p < producers; ++p) {
+    threads.emplace_back([&miner, records, producers, chunk, p] {
+      std::vector<TraceRecord> batch;
+      batch.reserve(chunk);
+      for (const TraceRecord& r : records) {
+        if (static_cast<std::size_t>(r.process.value()) % producers != p)
+          continue;
+        batch.push_back(r);
+        if (batch.size() == chunk) {
+          miner.observe_batch(batch);
+          batch.clear();
+        }
+      }
+      if (!batch.empty()) miner.observe_batch(batch);
+    });
+  }
+  for (auto& t : threads) t.join();
   miner.flush();
   const auto end = std::chrono::steady_clock::now();
   return std::chrono::duration<double>(end - start).count();

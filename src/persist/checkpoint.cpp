@@ -97,11 +97,14 @@ void fsync_parent_dir(const std::string& path) {
 #endif
 }
 
+/// Checkpoints embed the dictionary through the shared v3 codec
+/// (encode_dictionary) since checkpoint v2 — the legacy v2 stream codec
+/// could not represent >255-component paths.
 std::string serialize_dictionary(const TraceDictionary* dict) {
   if (dict == nullptr) return {};
-  std::ostringstream os(std::ios::binary);
-  write_dictionary(os, *dict);
-  return std::move(os).str();
+  std::string out;
+  encode_dictionary(out, *dict);
+  return out;
 }
 
 /// Writes `[magic][version][u64 body_len][body][u64 checksum]` to `path`

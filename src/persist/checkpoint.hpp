@@ -16,7 +16,8 @@
 //
 //   body := u64 seq            records covered by this checkpoint
 //           u64 config_hash    canonical FarmerConfig fingerprint
-//           u64 dict_len       embedded dictionary (trace_io format; 0 = none)
+//           u64 dict_len       embedded dictionary (0 = none; the shared
+//                              v3 codec, trace_io encode_dictionary)
 //           dict bytes
 //           u32 shard_count
 //           shard_count x (u64 blob_len, blob bytes)
@@ -43,9 +44,11 @@ class Farmer;
 namespace persist {
 
 inline constexpr std::uint32_t kCheckpointMagic = 0xFA12C4E7;
-inline constexpr std::uint32_t kCheckpointVersion = 1;
+/// v2: the embedded dictionary moved from the legacy v2 stream codec to the
+/// shared v3 codec (u32 path-component counts). v1 files are rejected.
+inline constexpr std::uint32_t kCheckpointVersion = 2;
 inline constexpr std::uint32_t kManifestMagic = 0xFA12B14D;
-inline constexpr std::uint32_t kManifestVersion = 1;
+inline constexpr std::uint32_t kManifestVersion = 2;
 
 /// Canonical fingerprint over every FarmerConfig field. Stored in the
 /// checkpoint and verified on load: restoring a model mined under different

@@ -2,13 +2,16 @@
 
 #include <algorithm>
 #include <cassert>
+#include <memory>
 #include <numeric>
+#include <stdexcept>
 #include <string>
 #include <unordered_map>
 
 #include "common/parallel.hpp"
 #include "common/rng.hpp"
 #include "common/zipf.hpp"
+#include "trace/trace_stream.hpp"
 
 namespace farmer {
 
@@ -725,6 +728,95 @@ MultiTenantTrace make_multi_tenant_trace(std::span<const TraceKind> tenants,
                      return a.timestamp < b.timestamp;
                    });
   out.trace.records = std::move(merged);
+  return out;
+}
+
+StreamedMultiTenantTrace stream_multi_tenant_trace(
+    const StreamedTraceSpec& spec, const std::string& dir) {
+  if (spec.tenants.empty())
+    throw std::invalid_argument("stream_multi_tenant_trace: no tenants");
+  if (spec.rounds == 0)
+    throw std::invalid_argument("stream_multi_tenant_trace: zero rounds");
+
+  // Quiet gap inserted between workload rounds on the time axis.
+  constexpr SimTime kRoundGapUs = 1'000'000;
+
+  StreamedMultiTenantTrace out;
+  out.name = "MT[";
+  out.file_begin.push_back(0);
+
+  TraceDictionary dict;
+  std::uint32_t next_user = 0, next_process = 0, next_host = 0, next_job = 0;
+  std::uint32_t group_offset = 0;
+  bool has_paths = true;
+  // Every part embeds the final merged dictionary, so all writers stay
+  // open until the last tenant is spliced (the v3 footer layout exists for
+  // exactly this) — merge_trace_streams then sees identical dict bytes.
+  std::vector<std::unique_ptr<TraceWriter>> writers;
+
+  for (std::size_t t = 0; t < spec.tenants.size(); ++t) {
+    const std::string part_path =
+        dir + "/part-t" + std::to_string(t) + ".ftrace";
+    TenantSplicer splicer{dict,
+                          "t" + std::to_string(t) + "~",
+                          {},
+                          {},
+                          0,
+                          group_offset,
+                          group_offset,
+                          next_user,
+                          next_process,
+                          next_host,
+                          next_job,
+                          {},
+                          {},
+                          {},
+                          {}};
+    std::unique_ptr<TraceWriter> writer;
+    SimTime time_base = 0;
+    std::vector<TraceRecord> batch;
+    for (std::size_t r = 0; r < spec.rounds; ++r) {
+      // Round 0 uses make_multi_tenant_trace's exact per-tenant seed split
+      // (the rounds == 1 byte-identity depends on it); later rounds jump
+      // by a second odd constant so round streams stay independent.
+      const std::uint64_t sub_seed = spec.seed +
+                                     0x9E3779B97F4A7C15ull * (t + 1) +
+                                     0xD1B54A32D192ED03ull * r;
+      const Trace sub = make_paper_trace(spec.tenants[t], sub_seed,
+                                         spec.scale);
+      if (r == 0) {
+        out.name += (t ? "+" : "") + sub.name;
+        has_paths = has_paths && sub.has_paths;
+        writer = std::make_unique<TraceWriter>(part_path, spec.tenants[t],
+                                               sub.has_paths);
+      } else {
+        // New round, fresh ground-truth groups: advance past everything
+        // this tenant has produced so far.
+        splicer.group_offset = splicer.group_max;
+      }
+      splicer.splice(sub);
+      batch.clear();
+      batch.reserve(sub.records.size());
+      for (const TraceRecord& rec : sub.records) {
+        TraceRecord m = splicer.remap_record(*sub.dict, rec);
+        m.timestamp += time_base;
+        batch.push_back(m);
+      }
+      writer->append(std::span<const TraceRecord>(batch));
+      time_base += sub.duration() + kRoundGapUs;
+    }
+    group_offset = std::max(group_offset, splicer.group_max);
+    out.file_begin.push_back(static_cast<std::uint32_t>(dict.files.size()));
+    out.part_paths.push_back(part_path);
+    writers.push_back(std::move(writer));
+  }
+  out.name += "]";
+  out.has_paths = has_paths;
+
+  for (std::size_t t = 0; t < writers.size(); ++t) {
+    out.records_written += writers[t]->records_written();
+    writers[t]->finish(out.name + "~t" + std::to_string(t), dict);
+  }
   return out;
 }
 

@@ -15,12 +15,25 @@
 #include <cstdint>
 #include <functional>
 #include <span>
+#include <string>
 #include <vector>
 
 #include "trace/profile.hpp"
 #include "trace/record.hpp"
 
 namespace farmer {
+
+/// Ground-truth owning tenant of `f` under contiguous FileId ranges:
+/// tenant `t` owns [begins[t], begins[t+1]); ids past the last range clamp
+/// into the final tenant, mirroring MinerRouter::range_tenants. Shared by
+/// the in-memory and streamed multi-tenant generators so router wirings
+/// built from either cannot drift.
+[[nodiscard]] inline std::uint32_t tenant_of_ranges(
+    const std::vector<std::uint32_t>& begins, FileId f) noexcept {
+  std::uint32_t t = 0;
+  while (t + 2 < begins.size() && f.value() >= begins[t + 1]) ++t;
+  return t;
+}
 
 /// Generates a complete trace. Thread-safe w.r.t. other generator calls.
 [[nodiscard]] Trace generate_trace(const WorkloadProfile& profile,
@@ -57,20 +70,11 @@ struct MultiTenantTrace {
   }
   /// Self-contained FileId→tenant function over these ranges (captures
   /// them by value, so it may outlive this object) — the ground-truth map
-  /// to hand to MinerOptions::router_tenant_of. One implementation serves
-  /// tenant_of() and every router wiring, so they cannot drift.
+  /// to hand to MinerOptions::router_tenant_of.
   [[nodiscard]] std::function<std::uint32_t(FileId)> tenant_map() const {
     return [begins = file_begin](FileId f) {
       return tenant_of_ranges(begins, f);
     };
-  }
-
- private:
-  [[nodiscard]] static std::uint32_t tenant_of_ranges(
-      const std::vector<std::uint32_t>& begins, FileId f) noexcept {
-    std::uint32_t t = 0;
-    while (t + 2 < begins.size() && f.value() >= begins[t + 1]) ++t;
-    return t;
   }
 };
 
@@ -81,5 +85,52 @@ struct MultiTenantTrace {
 [[nodiscard]] MultiTenantTrace make_multi_tenant_trace(
     std::span<const TraceKind> tenants, std::uint64_t seed,
     double scale = 1.0);
+
+/// Parameters for the streamed (out-of-core) multi-tenant generator.
+struct StreamedTraceSpec {
+  std::vector<TraceKind> tenants;
+  std::uint64_t seed = 42;
+  double scale = 1.0;
+  /// Workload repetitions per tenant. Each round re-generates the tenant's
+  /// profile from a split seed and splices it after the previous round on
+  /// the time axis, so record volume scales linearly in `rounds` while
+  /// generator memory stays bounded by a single round — this is how multi-GB
+  /// traces are produced without a multi-GB Trace.
+  std::size_t rounds = 1;
+};
+
+/// The on-disk result of stream_multi_tenant_trace: one time-ordered v3
+/// part file per tenant, all embedding the identical merged dictionary, so
+/// merge_trace_streams can interleave them into one stream. With
+/// rounds == 1 that merged stream is byte-identical to
+/// make_multi_tenant_trace(tenants, seed, scale) written via
+/// write_trace_binary — the differential the tests pin down.
+struct StreamedMultiTenantTrace {
+  std::vector<std::string> part_paths;  ///< one per tenant, merge inputs
+  /// Per-tenant FileId range starts plus one final end marker (see
+  /// MultiTenantTrace::file_begin).
+  std::vector<std::uint32_t> file_begin;
+  std::string name;  ///< merged trace name; pass as merge out_name
+  bool has_paths = false;
+  std::uint64_t records_written = 0;  ///< total across all parts
+
+  [[nodiscard]] std::size_t tenant_count() const noexcept {
+    return file_begin.empty() ? 0 : file_begin.size() - 1;
+  }
+  [[nodiscard]] std::function<std::uint32_t(FileId)> tenant_map() const {
+    return [begins = file_begin](FileId f) {
+      return tenant_of_ranges(begins, f);
+    };
+  }
+};
+
+/// Streamed counterpart of make_multi_tenant_trace: generates each tenant
+/// round by round and appends remapped records straight to a per-tenant
+/// TraceWriter under `dir`, holding at most one round's records in memory.
+/// All writers stay open until every tenant is spliced, then finish with
+/// the shared dictionary. Deterministic for a given (spec, dir); throws
+/// std::invalid_argument when spec.tenants is empty or spec.rounds is 0.
+StreamedMultiTenantTrace stream_multi_tenant_trace(
+    const StreamedTraceSpec& spec, const std::string& dir);
 
 }  // namespace farmer

@@ -2,15 +2,17 @@
 
 #include <cstring>
 #include <fstream>
+#include <istream>
+#include <limits>
 #include <ostream>
+#include <span>
 #include <stdexcept>
+
+#include "trace/trace_stream.hpp"
 
 namespace farmer {
 
 namespace {
-
-constexpr std::uint32_t kMagic = 0xFA12ACE5;
-constexpr std::uint32_t kVersion = 2;
 
 template <typename T>
 void put(std::ostream& os, const T& v) {
@@ -32,13 +34,61 @@ void put_string(std::ostream& os, std::string_view s) {
   os.write(s.data(), static_cast<std::streamsize>(s.size()));
 }
 
+/// Bytes between the stream cursor and end-of-stream. Every count decoded
+/// from a file is bounded against this before any allocation happens, so a
+/// corrupt length field cannot drive an OOM.
+std::uint64_t stream_remaining(std::istream& is) {
+  const auto cur = is.tellg();
+  if (cur < 0) throw std::runtime_error("trace stream not seekable");
+  is.seekg(0, std::ios::end);
+  const auto end = is.tellg();
+  is.seekg(cur);
+  if (end < cur) throw std::runtime_error("trace stream not seekable");
+  return static_cast<std::uint64_t>(end - cur);
+}
+
 std::string get_string(std::istream& is) {
   const auto n = get<std::uint32_t>(is);
+  if (n > stream_remaining(is))
+    throw std::runtime_error("trace string length exceeds file size");
   std::string s(n, '\0');
   is.read(s.data(), n);
   if (!is) throw std::runtime_error("trace file truncated");
   return s;
 }
+
+void check_count(std::uint64_t count, std::uint64_t min_entry_bytes,
+                 std::uint64_t remaining, const char* what) {
+  if (count > remaining / min_entry_bytes)
+    throw std::runtime_error(std::string(what) +
+                             " count exceeds remaining file size");
+}
+
+void validate_token(TokenId t, const TraceDictionary& d, const char* what) {
+  if (t.valid() && t.value() >= d.tokens.size())
+    throw std::runtime_error(std::string(what) + " token id out of range");
+}
+
+void validate_path_component(TokenId t, const TraceDictionary& d) {
+  if (!t.valid() || t.value() >= d.tokens.size())
+    throw std::runtime_error("path component token id out of range");
+}
+
+void validate_file_meta(const FileMeta& f, const TraceDictionary& d) {
+  if (f.path.valid() && f.path.value() >= d.paths.size())
+    throw std::runtime_error("file meta path id out of range");
+  validate_token(f.dev, d, "file meta dev");
+  validate_token(f.fid, d, "file meta fid");
+}
+
+// Per-entry minimum on-disk sizes used to bound decoded counts. Both
+// formats agree on these: a token is at least its u32 length prefix, a v3
+// path is at least its u32 component count (u8 in v2), a file meta row is
+// exactly 21 bytes.
+constexpr std::uint64_t kMinTokenBytes = 4;
+constexpr std::uint64_t kMinPathBytesV2 = 1;
+constexpr std::uint64_t kMinPathBytesV3 = 4;
+constexpr std::uint64_t kFileMetaBytes = 21;
 
 }  // namespace
 
@@ -49,6 +99,10 @@ void write_dictionary(std::ostream& os, const TraceDictionary& d) {
 
   put<std::uint32_t>(os, static_cast<std::uint32_t>(d.paths.size()));
   for (const auto& comps : d.paths) {
+    if (comps.size() > 255)
+      throw std::runtime_error(
+          "v2 trace format cannot represent a path with more than 255 "
+          "components; write v3 instead");
     put<std::uint8_t>(os, static_cast<std::uint8_t>(comps.size()));
     for (TokenId t : comps) put<std::uint32_t>(os, t.value());
   }
@@ -66,6 +120,7 @@ void write_dictionary(std::ostream& os, const TraceDictionary& d) {
 
 void read_dictionary(std::istream& is, TraceDictionary& d) {
   const auto ntokens = get<std::uint32_t>(is);
+  check_count(ntokens, kMinTokenBytes, stream_remaining(is), "token");
   for (std::uint32_t i = 0; i < ntokens; ++i) {
     const TokenId id = d.tokens.intern(get_string(is));
     if (id.value() != i)
@@ -73,16 +128,21 @@ void read_dictionary(std::istream& is, TraceDictionary& d) {
   }
 
   const auto npaths = get<std::uint32_t>(is);
+  check_count(npaths, kMinPathBytesV2, stream_remaining(is), "path");
   d.paths.reserve(npaths);
   for (std::uint32_t i = 0; i < npaths; ++i) {
     const auto ncomp = get<std::uint8_t>(is);
     SmallVector<TokenId, 8> comps;
-    for (std::uint8_t c = 0; c < ncomp; ++c)
-      comps.push_back(TokenId(get<std::uint32_t>(is)));
+    for (std::uint8_t c = 0; c < ncomp; ++c) {
+      const TokenId t(get<std::uint32_t>(is));
+      validate_path_component(t, d);
+      comps.push_back(t);
+    }
     (void)d.add_path(std::move(comps));
   }
 
   const auto nfiles = get<std::uint32_t>(is);
+  check_count(nfiles, kFileMetaBytes, stream_remaining(is), "file");
   d.files.reserve(nfiles);
   for (std::uint32_t i = 0; i < nfiles; ++i) {
     FileMeta f;
@@ -92,8 +152,103 @@ void read_dictionary(std::istream& is, TraceDictionary& d) {
     f.group = get<std::uint32_t>(is);
     f.size_bytes = get<std::uint32_t>(is);
     f.read_only = get<std::uint8_t>(is) != 0;
+    validate_file_meta(f, d);
     d.files.push_back(f);
   }
+}
+
+void encode_dictionary(std::string& out, const TraceDictionary& d) {
+  const auto raw = [&out](const auto& v) {
+    static_assert(std::is_trivially_copyable_v<
+                  std::remove_cvref_t<decltype(v)>>);
+    out.append(reinterpret_cast<const char*>(&v), sizeof v);
+  };
+
+  raw(static_cast<std::uint32_t>(d.tokens.size()));
+  for (std::uint32_t i = 0; i < d.tokens.size(); ++i) {
+    const std::string_view s = d.tokens.resolve(TokenId(i));
+    raw(static_cast<std::uint32_t>(s.size()));
+    out.append(s);
+  }
+
+  raw(static_cast<std::uint32_t>(d.paths.size()));
+  for (const auto& comps : d.paths) {
+    raw(static_cast<std::uint32_t>(comps.size()));
+    for (TokenId t : comps) raw(t.value());
+  }
+
+  raw(static_cast<std::uint32_t>(d.files.size()));
+  for (const FileMeta& f : d.files) {
+    raw(f.path.value());
+    raw(f.dev.value());
+    raw(f.fid.value());
+    raw(f.group);
+    raw(f.size_bytes);
+    raw(static_cast<std::uint8_t>(f.read_only ? 1 : 0));
+  }
+}
+
+void decode_dictionary(ByteReader& in, TraceDictionary& d) {
+  const auto ntokens = in.get<std::uint32_t>();
+  check_count(ntokens, kMinTokenBytes, in.remaining(), "token");
+  for (std::uint32_t i = 0; i < ntokens; ++i) {
+    const auto len = in.get<std::uint32_t>();
+    const TokenId id = d.tokens.intern(in.view(len));
+    if (id.value() != i)
+      throw std::runtime_error("token table corrupt (duplicate strings)");
+  }
+
+  const auto npaths = in.get<std::uint32_t>();
+  check_count(npaths, kMinPathBytesV3, in.remaining(), "path");
+  d.paths.reserve(npaths);
+  for (std::uint32_t i = 0; i < npaths; ++i) {
+    const auto ncomp = in.get<std::uint32_t>();
+    check_count(ncomp, 4, in.remaining(), "path component");
+    SmallVector<TokenId, 8> comps;
+    for (std::uint32_t c = 0; c < ncomp; ++c) {
+      const TokenId t(in.get<std::uint32_t>());
+      validate_path_component(t, d);
+      comps.push_back(t);
+    }
+    (void)d.add_path(std::move(comps));
+  }
+
+  const auto nfiles = in.get<std::uint32_t>();
+  check_count(nfiles, kFileMetaBytes, in.remaining(), "file");
+  d.files.reserve(nfiles);
+  for (std::uint32_t i = 0; i < nfiles; ++i) {
+    FileMeta f;
+    f.path = PathId(in.get<std::uint32_t>());
+    f.dev = TokenId(in.get<std::uint32_t>());
+    f.fid = TokenId(in.get<std::uint32_t>());
+    f.group = in.get<std::uint32_t>();
+    f.size_bytes = in.get<std::uint32_t>();
+    f.read_only = in.get<std::uint8_t>() != 0;
+    validate_file_meta(f, d);
+    d.files.push_back(f);
+  }
+}
+
+TraceKind validate_trace_kind(std::uint8_t raw) {
+  if (raw > static_cast<std::uint8_t>(TraceKind::kCustom))
+    throw std::runtime_error("trace kind out of range");
+  return static_cast<TraceKind>(raw);
+}
+
+void validate_record(const TraceRecord& rec, const TraceDictionary& dict) {
+  if (!rec.file.valid() || rec.file.value() >= dict.files.size())
+    throw std::runtime_error("record file id out of range");
+  if (static_cast<std::uint8_t>(rec.op) >
+      static_cast<std::uint8_t>(OpType::kClose))
+    throw std::runtime_error("record op out of range");
+  if (rec.path.valid() && rec.path.value() >= dict.paths.size())
+    throw std::runtime_error("record path id out of range");
+  validate_token(rec.user_token, dict, "record user");
+  validate_token(rec.process_token, dict, "record process");
+  validate_token(rec.host_token, dict, "record host");
+  validate_token(rec.dev_token, dict, "record dev");
+  validate_token(rec.fid_token, dict, "record fid");
+  validate_token(rec.program_token, dict, "record program");
 }
 
 void encode_record(const TraceRecord& rec, std::string& out) {
@@ -110,10 +265,16 @@ TraceRecord decode_record(std::string_view bytes) {
 }
 
 void write_trace_binary(const Trace& trace, const std::string& path) {
+  TraceWriter writer(path, trace.kind, trace.has_paths);
+  writer.append(std::span<const TraceRecord>(trace.records));
+  writer.finish(trace.name, *trace.dict);
+}
+
+void write_trace_binary_v2(const Trace& trace, const std::string& path) {
   std::ofstream os(path, std::ios::binary | std::ios::trunc);
   if (!os) throw std::runtime_error("cannot open for write: " + path);
-  put(os, kMagic);
-  put(os, kVersion);
+  put(os, kTraceMagic);
+  put(os, kTraceVersion2);
   put_string(os, trace.name);
   put<std::uint8_t>(os, static_cast<std::uint8_t>(trace.kind));
   put<std::uint8_t>(os, trace.has_paths ? 1 : 0);
@@ -126,24 +287,38 @@ void write_trace_binary(const Trace& trace, const std::string& path) {
 }
 
 Trace read_trace_binary(const std::string& path) {
+  std::uint32_t version = 0;
+  {
+    std::ifstream is(path, std::ios::binary);
+    if (!is) throw std::runtime_error("cannot open for read: " + path);
+    if (get<std::uint32_t>(is) != kTraceMagic)
+      throw std::runtime_error("not a farmer trace: " + path);
+    version = get<std::uint32_t>(is);
+  }
+
+  if (version == kTraceVersion3) return TraceReader(path).materialize();
+  if (version != kTraceVersion2)
+    throw std::runtime_error("unsupported trace version: " + path);
+
   std::ifstream is(path, std::ios::binary);
   if (!is) throw std::runtime_error("cannot open for read: " + path);
-  if (get<std::uint32_t>(is) != kMagic)
-    throw std::runtime_error("not a farmer trace: " + path);
-  if (get<std::uint32_t>(is) != kVersion)
-    throw std::runtime_error("unsupported trace version: " + path);
+  is.seekg(8);  // magic + version, checked above
 
   Trace trace;
   trace.name = get_string(is);
-  trace.kind = static_cast<TraceKind>(get<std::uint8_t>(is));
+  trace.kind = validate_trace_kind(get<std::uint8_t>(is));
   trace.has_paths = get<std::uint8_t>(is) != 0;
   trace.dict = std::make_shared<TraceDictionary>();
   read_dictionary(is, *trace.dict);
 
   const auto nrecords = get<std::uint64_t>(is);
+  check_count(nrecords, kTraceRecordBytes, stream_remaining(is), "record");
   trace.records.reserve(nrecords);
-  for (std::uint64_t i = 0; i < nrecords; ++i)
-    trace.records.push_back(get<TraceRecord>(is));
+  for (std::uint64_t i = 0; i < nrecords; ++i) {
+    const auto rec = get<TraceRecord>(is);
+    validate_record(rec, *trace.dict);
+    trace.records.push_back(rec);
+  }
   return trace;
 }
 

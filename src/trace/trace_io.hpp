@@ -1,28 +1,124 @@
 // Trace persistence.
 //
-// Binary format (little-endian, versioned): dictionary (tokens, paths, file
-// metadata) followed by the record stream. A text (TSV) exporter is provided
-// for eyeballing traces and for interoperability with external tooling.
+// Two on-disk trace formats share this header:
+//
+//  * v2 — the legacy stream format (dictionary first, then records), kept
+//    readable forever. Its writer survives for compatibility tests and
+//    refuses data it cannot represent (a path with more than 255
+//    components used to have its count truncated to uint8_t while every
+//    component was still written — an unreadable stream; it now throws).
+//  * v3 — the mmap-able out-of-core format (fixed-offset record section
+//    first, metadata footer last), implemented by trace_stream.hpp.
+//    `write_trace_binary` produces v3; `read_trace_binary` reads both by
+//    version sniff.
+//
+// Every reader here is hardened against corrupt input: counts are bounded
+// by the bytes actually present before anything is allocated, and decoded
+// ids (TraceKind, FileMeta.path, token ids) are validated against the
+// tables just read, so a truncated or bit-flipped file throws
+// std::runtime_error instead of OOMing or deferring the crash to first use.
+//
+// The v3 dictionary codec (`encode_dictionary`/`decode_dictionary`) is also
+// the persistence substrate: checkpoints embed dictionaries through it.
 #pragma once
 
+#include <cstdint>
+#include <cstring>
 #include <iosfwd>
+#include <stdexcept>
 #include <string>
 #include <string_view>
+#include <type_traits>
 
 #include "trace/record.hpp"
 
 namespace farmer {
 
-/// Writes just the dictionary section (token table, path components, file
-/// metadata) in the binary format. Shared between trace files and the
-/// persistence subsystem's checkpoints, which embed the dictionary so a
-/// checkpoint is self-describing. Throws std::runtime_error on I/O failure.
+inline constexpr std::uint32_t kTraceMagic = 0xFA12ACE5;
+inline constexpr std::uint32_t kTraceVersion2 = 2;
+inline constexpr std::uint32_t kTraceVersion3 = 3;
+
+/// Bounds-checked forward reader over a serialized blob. Any overrun means
+/// the blob is torn or malformed and surfaces as std::runtime_error tagged
+/// with `what`. Shared by the v3 trace codec and the persistence
+/// checkpoints.
+class ByteReader {
+ public:
+  explicit ByteReader(std::string_view bytes, const char* what = "blob")
+      : p_(bytes.data()), end_(bytes.data() + bytes.size()), what_(what) {}
+
+  template <typename T>
+  T get() {
+    static_assert(std::is_trivially_copyable_v<T>);
+    if (remaining() < sizeof(T)) throw truncated();
+    T v;
+    std::memcpy(&v, p_, sizeof v);
+    p_ += sizeof v;
+    return v;
+  }
+
+  void get_bytes(char* dst, std::size_t len) {
+    if (remaining() < len) throw truncated();
+    std::memcpy(dst, p_, len);
+    p_ += len;
+  }
+
+  /// Zero-copy sub-view of the next `len` bytes (advances the cursor).
+  [[nodiscard]] std::string_view view(std::size_t len) {
+    if (remaining() < len) throw truncated();
+    const std::string_view v(p_, len);
+    p_ += len;
+    return v;
+  }
+
+  [[nodiscard]] std::size_t remaining() const noexcept {
+    return static_cast<std::size_t>(end_ - p_);
+  }
+  [[nodiscard]] bool done() const noexcept { return p_ == end_; }
+
+ private:
+  [[nodiscard]] std::runtime_error truncated() const {
+    return std::runtime_error(std::string(what_) + " truncated");
+  }
+
+  const char* p_;
+  const char* end_;
+  const char* what_;
+};
+
+/// Writes just the dictionary section in the *v2* stream format (uint8_t
+/// path-component counts). Kept for v2 compatibility only; throws
+/// std::runtime_error on I/O failure or when a path has more than 255
+/// components (which v2 cannot represent — new code uses the v3 codec).
 void write_dictionary(std::ostream& os, const TraceDictionary& dict);
 
-/// Reads a dictionary previously written by `write_dictionary` into `dict`
-/// (which must be empty). Throws std::runtime_error on truncation or a
-/// corrupt token table.
+/// Reads a v2 dictionary previously written by `write_dictionary` into
+/// `dict` (which must be empty). Counts are bounded against the remaining
+/// stream size and decoded ids are validated; throws std::runtime_error on
+/// truncation or corruption.
 void read_dictionary(std::istream& is, TraceDictionary& dict);
+
+/// Appends the v3 dictionary encoding (token table, path components with
+/// uint32 counts, file metadata) to `out`. Shared between v3 trace files
+/// and the persistence subsystem's checkpoints, which embed the dictionary
+/// so a checkpoint is self-describing.
+void encode_dictionary(std::string& out, const TraceDictionary& dict);
+
+/// Decodes a dictionary encoded by `encode_dictionary` into `dict` (which
+/// must be empty), consuming from `in`. Counts are bounded against the
+/// bytes remaining and every decoded id (path-component tokens,
+/// FileMeta.path/dev/fid) is validated against the tables just read;
+/// corruption throws std::runtime_error.
+void decode_dictionary(ByteReader& in, TraceDictionary& dict);
+
+/// Validates a raw on-disk TraceKind byte; throws std::runtime_error on an
+/// out-of-range value.
+[[nodiscard]] TraceKind validate_trace_kind(std::uint8_t raw);
+
+/// Validates one record against `dict`: the file id must index the file
+/// table, op must be a known OpType, and path/token ids must be invalid or
+/// in range. Throws std::runtime_error naming the offending field.
+void validate_record(const TraceRecord& rec, const TraceDictionary& dict);
 
 /// Fixed-size raw encoding of one TraceRecord — the same layout
 /// `write_trace_binary` streams and the layout WAL values use.
@@ -35,12 +131,18 @@ void encode_record(const TraceRecord& rec, std::string& out);
 /// when `bytes` is not exactly `kTraceRecordBytes` long.
 [[nodiscard]] TraceRecord decode_record(std::string_view bytes);
 
-/// Writes `trace` in the binary format. Throws std::runtime_error on I/O
-/// failure.
+/// Writes `trace` in the v3 binary format (see trace_stream.hpp). Throws
+/// std::runtime_error on I/O failure.
 void write_trace_binary(const Trace& trace, const std::string& path);
 
-/// Reads a trace previously written by `write_trace_binary`. Throws
-/// std::runtime_error on I/O failure or format mismatch.
+/// Writes `trace` in the legacy v2 stream format. Throws std::runtime_error
+/// on I/O failure or when the trace cannot be represented in v2 (a path
+/// with more than 255 components).
+void write_trace_binary_v2(const Trace& trace, const std::string& path);
+
+/// Reads a trace previously written by `write_trace_binary` (v3) or
+/// `write_trace_binary_v2`, dispatching on the version field. Throws
+/// std::runtime_error on I/O failure, format mismatch, or corruption.
 [[nodiscard]] Trace read_trace_binary(const std::string& path);
 
 /// Streams a human-readable TSV rendering (header + one row per record).

@@ -191,6 +191,55 @@ TEST(PersistSaveLoad, LoadRequiresFreshMiner) {
   EXPECT_THROW(dirty_conc->load(dir.str()), std::logic_error);
 }
 
+// Regression: checkpoints embed the dictionary with the shared v3 codec.
+// The legacy v2 codec stored path-component counts in a uint8_t, so a path
+// deeper than 255 components silently truncated on save and the reloaded
+// miner was bound to a different dictionary than the one it was mined
+// under. A >255-component path must round-trip through save()/load().
+TEST(PersistSaveLoad, DeepPathDictionaryRoundTrips) {
+  TempDir dir("persist_deep_path_rt");
+  auto dict = std::make_shared<TraceDictionary>();
+  SmallVector<TokenId, 8> comps;
+  for (int i = 0; i < 300; ++i)
+    comps.push_back(dict->tokens.intern("d" + std::to_string(i)));
+  const PathId deep = dict->add_path(std::move(comps));
+  for (std::uint32_t f = 0; f < 4; ++f) {
+    FileMeta m;
+    m.path = f == 0 ? deep : dict->add_path({dict->tokens.intern(
+                                 "f" + std::to_string(f))});
+    m.dev = dict->tokens.intern("dev0");
+    m.fid = dict->tokens.intern("fid" + std::to_string(f));
+    dict->files.push_back(m);
+  }
+  std::vector<TraceRecord> records;
+  for (std::uint32_t i = 0; i < 64; ++i) {
+    TraceRecord r;
+    r.timestamp = i * 1000;
+    r.file = FileId(i % 4);
+    r.path = dict->files[i % 4].path;
+    r.dev_token = dict->files[i % 4].dev;
+    r.fid_token = dict->files[i % 4].fid;
+    records.push_back(r);
+  }
+  FarmerConfig cfg;
+  cfg.attributes = AttributeMask::all_with_path();
+
+  auto source = make_miner("farmer", cfg, dict);
+  source->observe_batch(records);
+  source->flush();
+  source->save(dir.str());
+
+  auto loaded = make_miner("farmer", cfg, dict);
+  loaded->load(dir.str());
+  ASSERT_EQ(loaded->stats().requests, source->stats().requests);
+  for (std::uint32_t f = 0; f < 4; ++f) {
+    const FileId id(f);
+    EXPECT_EQ(loaded->access_count(id), source->access_count(id));
+    EXPECT_EQ(loaded->correlation_degree(id, FileId((f + 1) % 4)),
+              source->correlation_degree(id, FileId((f + 1) % 4)));
+  }
+}
+
 // ------------------------------------------- factory-level persistence ----
 
 TEST(PersistReopen, ShardedRecoversAcrossProcessLifetime) {

@@ -1,16 +1,24 @@
 // Tests for the trace substrate: synthetic generators, profiles, and I/O.
 #include <gtest/gtest.h>
 
+#include <unistd.h>
+
 #include <algorithm>
 #include <array>
 #include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
 #include <iterator>
 #include <set>
 #include <sstream>
 #include <vector>
 
+#include "core/farmer.hpp"
+#include "persist/checkpoint.hpp"
 #include "trace/generator.hpp"
 #include "trace/trace_io.hpp"
+#include "trace/trace_stream.hpp"
 
 namespace farmer {
 namespace {
@@ -153,7 +161,10 @@ TEST(Dictionary, PathStringRebuilds) {
 class TraceIoTest : public ::testing::Test {
  protected:
   void TearDown() override { std::remove(path_.c_str()); }
-  std::string path_ = ::testing::TempDir() + "farmer_trace_test.bin";
+  // ctest runs each test as its own process, concurrently — the path must
+  // be per-process unique or parallel tests clobber each other's files.
+  std::string path_ = ::testing::TempDir() + "farmer_trace_test_" +
+                      std::to_string(::getpid()) + ".bin";
 };
 
 TEST_F(TraceIoTest, BinaryRoundTrip) {
@@ -298,6 +309,388 @@ TEST(MultiTenantTrace_, HasPathsIsTheConjunction) {
   constexpr TraceKind kBothHp[] = {TraceKind::kHP, TraceKind::kHP};
   const MultiTenantTrace hp_only = make_multi_tenant_trace(kBothHp, 42, 0.02);
   EXPECT_TRUE(hp_only.trace.has_paths);
+}
+
+// ------------------------------------------------------- format versions --
+
+std::string slurp(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  EXPECT_TRUE(is.good()) << path;
+  return std::string(std::istreambuf_iterator<char>(is),
+                     std::istreambuf_iterator<char>());
+}
+
+void spit(const std::string& path, std::string_view bytes) {
+  std::ofstream os(path, std::ios::binary | std::ios::trunc);
+  os.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  ASSERT_TRUE(os.good()) << path;
+}
+
+TEST_F(TraceIoTest, V2RoundTrip) {
+  const Trace t = generate_trace(tiny_hp(), 99);
+  write_trace_binary_v2(t, path_);
+  const Trace u = read_trace_binary(path_);
+  EXPECT_EQ(u.name, t.name);
+  EXPECT_EQ(u.kind, t.kind);
+  ASSERT_EQ(u.records.size(), t.records.size());
+  for (std::size_t i = 0; i < t.records.size(); ++i) {
+    EXPECT_EQ(u.records[i].timestamp, t.records[i].timestamp);
+    EXPECT_EQ(u.records[i].file, t.records[i].file);
+    EXPECT_EQ(u.records[i].user_token, t.records[i].user_token);
+  }
+}
+
+TEST_F(TraceIoTest, V2AndV3AgreeOnTheSameTrace) {
+  const Trace t = generate_trace(tiny_hp(), 7);
+  write_trace_binary_v2(t, path_);
+  const Trace via_v2 = read_trace_binary(path_);
+  write_trace_binary(t, path_);
+  const Trace via_v3 = read_trace_binary(path_);
+  ASSERT_EQ(via_v2.records.size(), via_v3.records.size());
+  for (std::size_t i = 0; i < via_v2.records.size(); ++i) {
+    EXPECT_EQ(via_v2.records[i].timestamp, via_v3.records[i].timestamp);
+    EXPECT_EQ(via_v2.records[i].file, via_v3.records[i].file);
+  }
+  std::string d2, d3;
+  encode_dictionary(d2, *via_v2.dict);
+  encode_dictionary(d3, *via_v3.dict);
+  EXPECT_EQ(d2, d3);
+}
+
+/// A trace whose single path has more than 255 components — the case the
+/// v2 writer used to truncate to uint8_t while still writing every
+/// component, desyncing the stream for every reader.
+Trace deep_path_trace() {
+  Trace t;
+  t.name = "deep";
+  t.kind = TraceKind::kCustom;
+  t.has_paths = true;
+  t.dict = std::make_shared<TraceDictionary>();
+  TraceDictionary& d = *t.dict;
+  SmallVector<TokenId, 8> comps;
+  for (int i = 0; i < 300; ++i)
+    comps.push_back(d.tokens.intern("d" + std::to_string(i)));
+  const PathId deep = d.add_path(std::move(comps));
+  FileMeta m;
+  m.path = deep;
+  m.dev = d.tokens.intern("dev0");
+  m.fid = d.tokens.intern("fid0");
+  d.files.push_back(m);
+  TraceRecord r;
+  r.file = FileId(0);
+  r.path = deep;
+  r.dev_token = m.dev;
+  r.fid_token = m.fid;
+  t.records.push_back(r);
+  return t;
+}
+
+TEST_F(TraceIoTest, V2WriterRefusesDeepPathsInsteadOfTruncating) {
+  EXPECT_THROW(write_trace_binary_v2(deep_path_trace(), path_),
+               std::runtime_error);
+}
+
+TEST_F(TraceIoTest, V3RoundTripsDeepPaths) {
+  const Trace t = deep_path_trace();
+  write_trace_binary(t, path_);
+  const Trace u = read_trace_binary(path_);
+  ASSERT_EQ(u.dict->paths.size(), 1u);
+  EXPECT_EQ(u.dict->paths[0].size(), 300u);
+  EXPECT_EQ(u.dict->path_string(PathId(0)), t.dict->path_string(PathId(0)));
+}
+
+// ------------------------------------------------- corrupt-input hardening --
+
+/// Minimal v2 stream prefix: magic, version, empty name, kind, has_paths.
+std::string v2_prefix(std::uint8_t kind = 4) {
+  std::string s;
+  const auto put32 = [&s](std::uint32_t v) {
+    s.append(reinterpret_cast<const char*>(&v), 4);
+  };
+  put32(kTraceMagic);
+  put32(kTraceVersion2);
+  put32(0);  // empty name
+  s.push_back(static_cast<char>(kind));
+  s.push_back(0);  // has_paths
+  return s;
+}
+
+void append32(std::string& s, std::uint32_t v) {
+  s.append(reinterpret_cast<const char*>(&v), 4);
+}
+void append64(std::string& s, std::uint64_t v) {
+  s.append(reinterpret_cast<const char*>(&v), 8);
+}
+
+/// Every huge decoded count must be rejected against the bytes actually
+/// present *before* any allocation — a bit-flipped count used to reserve()
+/// gigabytes (trace_io.cpp:144) or allocate a 4GB string (line 37).
+TEST_F(TraceIoTest, HugeTokenCountThrowsWithoutAllocating) {
+  std::string s = v2_prefix();
+  append32(s, 0xFFFFFF00u);  // token count far beyond the file size
+  spit(path_, s);
+  EXPECT_THROW((void)read_trace_binary(path_), std::runtime_error);
+}
+
+TEST_F(TraceIoTest, HugeStringLengthThrowsWithoutAllocating) {
+  std::string s = v2_prefix();
+  append32(s, 1);            // one token...
+  append32(s, 0xFFFFFF00u);  // ...whose length exceeds the file
+  spit(path_, s);
+  EXPECT_THROW((void)read_trace_binary(path_), std::runtime_error);
+}
+
+TEST_F(TraceIoTest, HugeRecordCountThrowsWithoutAllocating) {
+  std::string s = v2_prefix();
+  append32(s, 0);  // tokens
+  append32(s, 0);  // paths
+  append32(s, 0);  // files
+  append64(s, 0x00FFFFFFFFFFFFFFull);
+  spit(path_, s);
+  EXPECT_THROW((void)read_trace_binary(path_), std::runtime_error);
+}
+
+TEST_F(TraceIoTest, OutOfRangeKindThrows) {
+  std::string s = v2_prefix(/*kind=*/9);
+  append32(s, 0);
+  append32(s, 0);
+  append32(s, 0);
+  append64(s, 0);
+  spit(path_, s);
+  EXPECT_THROW((void)read_trace_binary(path_), std::runtime_error);
+}
+
+TEST_F(TraceIoTest, PathComponentTokenOutOfRangeThrows) {
+  std::string s = v2_prefix();
+  append32(s, 0);     // no tokens...
+  append32(s, 1);     // ...but one path
+  s.push_back(1);     // with one component
+  append32(s, 5);     // referencing token 5
+  append32(s, 0);     // files
+  append64(s, 0);     // records
+  spit(path_, s);
+  EXPECT_THROW((void)read_trace_binary(path_), std::runtime_error);
+}
+
+TEST_F(TraceIoTest, FileMetaPathOutOfRangeThrows) {
+  std::string s = v2_prefix();
+  append32(s, 0);  // tokens
+  append32(s, 0);  // paths
+  append32(s, 1);  // one file
+  append32(s, 3);  // whose path id indexes an empty path table
+  append32(s, 0xFFFFFFFFu);  // dev: invalid is allowed
+  append32(s, 0xFFFFFFFFu);  // fid: invalid is allowed
+  append32(s, 0);            // group
+  append32(s, 0);            // size
+  s.push_back(0);            // read_only
+  append64(s, 0);            // records
+  spit(path_, s);
+  EXPECT_THROW((void)read_trace_binary(path_), std::runtime_error);
+}
+
+TEST_F(TraceIoTest, RecordFileIdOutOfRangeThrows) {
+  std::string s = v2_prefix();
+  append32(s, 0);  // tokens
+  append32(s, 0);  // paths
+  append32(s, 0);  // files
+  append64(s, 1);  // one record...
+  s.append(kTraceRecordBytes, '\0');  // ...whose file id 0 has no meta
+  spit(path_, s);
+  EXPECT_THROW((void)read_trace_binary(path_), std::runtime_error);
+}
+
+// --------------------------------------------------- v3 corruption fuzz --
+
+/// Small handcrafted trace: a few hundred bytes, so the fuzz below can
+/// afford every truncation length and every byte flip.
+Trace tiny_fuzz_trace() {
+  Trace t;
+  t.name = "fuzz";
+  t.kind = TraceKind::kCustom;
+  t.has_paths = true;
+  t.dict = std::make_shared<TraceDictionary>();
+  TraceDictionary& d = *t.dict;
+  const TokenId user = d.tokens.intern("alice");
+  const TokenId dev = d.tokens.intern("dev0");
+  SmallVector<TokenId, 8> comps;
+  comps.push_back(d.tokens.intern("home"));
+  comps.push_back(user);
+  const PathId p = d.add_path(std::move(comps));
+  for (std::uint32_t f = 0; f < 3; ++f) {
+    FileMeta m;
+    m.path = p;
+    m.dev = dev;
+    m.fid = d.tokens.intern("fid" + std::to_string(f));
+    d.files.push_back(m);
+  }
+  for (std::uint32_t i = 0; i < 10; ++i) {
+    TraceRecord r;
+    r.timestamp = i;
+    r.file = FileId(i % 3);
+    r.path = p;
+    r.user_token = user;
+    r.dev_token = dev;
+    t.records.push_back(r);
+  }
+  return t;
+}
+
+/// Acceptance criterion: every truncation of a v3 trace throws — none
+/// crash, none allocate beyond the file size. Truncations shorter than the
+/// header die on the size check; longer ones on the whole-file checksum
+/// (the header's file_size no longer matches the bytes on disk).
+TEST_F(TraceIoTest, TruncationAtEveryLengthThrows) {
+  write_trace_binary(tiny_fuzz_trace(), path_);
+  const std::string bytes = slurp(path_);
+  ASSERT_GT(bytes.size(), kTraceV3HeaderBytes);
+  for (std::size_t len = 0; len < bytes.size(); ++len) {
+    spit(path_, std::string_view(bytes).substr(0, len));
+    EXPECT_THROW((void)TraceReader(path_), std::runtime_error)
+        << "truncated to " << len << " bytes";
+  }
+}
+
+/// Every single-byte flip must throw: header flips hit the explicit
+/// consistency checks, payload flips hit the checksum, and a flip of the
+/// stored checksum itself mismatches the recomputed one.
+TEST_F(TraceIoTest, ByteFlipAtEveryOffsetThrows) {
+  write_trace_binary(tiny_fuzz_trace(), path_);
+  const std::string bytes = slurp(path_);
+  for (std::size_t off = 0; off < bytes.size(); ++off) {
+    std::string corrupt = bytes;
+    corrupt[off] = static_cast<char>(corrupt[off] ^ 0xFF);
+    spit(path_, corrupt);
+    EXPECT_THROW((void)TraceReader(path_), std::runtime_error)
+        << "flipped byte at offset " << off;
+  }
+}
+
+// ------------------------------------------------------ streamed pipeline --
+
+class StreamedPipelineTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    std::error_code ec;
+    std::filesystem::remove_all(dir_, ec);
+    std::filesystem::create_directories(dir_);
+  }
+  void TearDown() override {
+    std::error_code ec;
+    std::filesystem::remove_all(dir_, ec);
+  }
+
+  StreamedTraceSpec two_tenant_spec(std::size_t rounds = 1) const {
+    StreamedTraceSpec spec;
+    spec.tenants = {TraceKind::kHP, TraceKind::kINS};
+    spec.seed = 42;
+    spec.scale = 0.02;
+    spec.rounds = rounds;
+    return spec;
+  }
+
+  // Per-process unique for the same reason as TraceIoTest::path_.
+  std::string dir_ = ::testing::TempDir() + "farmer_streamed_test_" +
+                     std::to_string(::getpid());
+};
+
+/// The tentpole differential, in its strongest form: streamed generation
+/// plus external k-way merge produces a v3 file that is *byte-identical*
+/// to writing make_multi_tenant_trace's in-memory result — same records in
+/// the same order, same dictionary, same name, same header.
+TEST_F(StreamedPipelineTest, MergedFileIsByteIdenticalToInMemoryTrace) {
+  const MultiTenantTrace mem = tiny_multi_tenant();
+  const StreamedMultiTenantTrace streamed =
+      stream_multi_tenant_trace(two_tenant_spec(), dir_);
+  EXPECT_EQ(streamed.name, mem.trace.name);
+  EXPECT_EQ(streamed.file_begin, mem.file_begin);
+  EXPECT_EQ(streamed.has_paths, mem.trace.has_paths);
+  ASSERT_EQ(streamed.records_written, mem.trace.records.size());
+
+  const std::string merged_path = dir_ + "/merged.ftrace";
+  const std::uint64_t merged =
+      merge_trace_streams(streamed.part_paths, merged_path, streamed.name);
+  EXPECT_EQ(merged, streamed.records_written);
+
+  const std::string mem_path = dir_ + "/in_memory.ftrace";
+  write_trace_binary(mem.trace, mem_path);
+  EXPECT_EQ(slurp(merged_path), slurp(mem_path));
+}
+
+/// The acceptance-criteria phrasing of the same differential: feeding the
+/// mmap'd merged stream to a miner yields a byte-identical model to feeding
+/// the in-memory trace (persist::serialize_shard is the canonical full
+/// serialization of a shard's state).
+TEST_F(StreamedPipelineTest, ReplayedModelIsByteIdenticalToInMemoryIngest) {
+  const MultiTenantTrace mem = tiny_multi_tenant();
+  const StreamedMultiTenantTrace streamed =
+      stream_multi_tenant_trace(two_tenant_spec(), dir_);
+  const std::string merged_path = dir_ + "/merged.ftrace";
+  (void)merge_trace_streams(streamed.part_paths, merged_path, streamed.name);
+
+  FarmerConfig cfg;
+  cfg.attributes = mem.trace.has_paths ? AttributeMask::all_with_path()
+                                       : AttributeMask::all_with_fileid();
+  Farmer in_memory(cfg, mem.trace.dict);
+  in_memory.observe_batch(mem.trace.records);
+
+  const TraceReader reader(merged_path);
+  Farmer replayed(cfg, reader.dict());
+  replayed.observe_batch(reader.records());
+
+  EXPECT_EQ(persist::serialize_shard(in_memory),
+            persist::serialize_shard(replayed));
+}
+
+TEST_F(StreamedPipelineTest, ReaderExposesTraceFacts) {
+  const StreamedMultiTenantTrace streamed =
+      stream_multi_tenant_trace(two_tenant_spec(), dir_);
+  const std::string merged_path = dir_ + "/merged.ftrace";
+  (void)merge_trace_streams(streamed.part_paths, merged_path, streamed.name);
+  const TraceReader reader(merged_path);
+  EXPECT_EQ(reader.name(), streamed.name);
+  EXPECT_EQ(reader.kind(), TraceKind::kCustom);  // kHP + kINS mix
+  EXPECT_EQ(reader.has_paths(), streamed.has_paths);
+  EXPECT_EQ(reader.records().size(), streamed.records_written);
+  const Trace t = reader.materialize();
+  EXPECT_EQ(t.records.size(), streamed.records_written);
+  EXPECT_EQ(t.file_count(), streamed.file_begin.back());
+}
+
+TEST_F(StreamedPipelineTest, MultiRoundScalesVolumeAndStaysSorted) {
+  const StreamedMultiTenantTrace one =
+      stream_multi_tenant_trace(two_tenant_spec(1), dir_);
+  const std::string one_merged = dir_ + "/merged1.ftrace";
+  (void)merge_trace_streams(one.part_paths, one_merged, one.name);
+
+  const StreamedMultiTenantTrace three =
+      stream_multi_tenant_trace(two_tenant_spec(3), dir_);
+  EXPECT_GT(three.records_written, 2 * one.records_written);
+
+  const std::string merged_path = dir_ + "/merged3.ftrace";
+  (void)merge_trace_streams(three.part_paths, merged_path, three.name);
+  const TraceReader reader(merged_path);
+  ASSERT_EQ(reader.records().size(), three.records_written);
+  SimTime prev = 0;
+  for (const TraceRecord& r : reader.records()) {
+    EXPECT_LE(prev, r.timestamp);
+    prev = r.timestamp;
+    ASSERT_LT(r.file.value(), three.file_begin.back());
+  }
+}
+
+TEST_F(StreamedPipelineTest, MergeRejectsMismatchedDictionaries) {
+  const std::string a = dir_ + "/a.ftrace";
+  const std::string b = dir_ + "/b.ftrace";
+  write_trace_binary(generate_trace(tiny_hp(), 1), a);
+  write_trace_binary(generate_trace(tiny_hp(), 2), b);
+  const std::vector<std::string> inputs = {a, b};
+  EXPECT_THROW((void)merge_trace_streams(inputs, dir_ + "/out.ftrace", "x"),
+               std::runtime_error);
+}
+
+TEST_F(StreamedPipelineTest, MergeRejectsEmptyInputs) {
+  EXPECT_THROW((void)merge_trace_streams({}, dir_ + "/out.ftrace", "x"),
+               std::invalid_argument);
 }
 
 }  // namespace
