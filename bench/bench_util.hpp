@@ -80,7 +80,8 @@ inline FarmerConfig fpa_config(const Trace& trace) {
 }
 
 /// Mining backend behind every bench's FPA, selected at runtime:
-///   FARMER_MINER=farmer|sharded|concurrent|nexus  (default "farmer")
+///   FARMER_MINER=farmer|sharded|concurrent|router|nexus|cluster
+///                               (default "farmer")
 ///   FARMER_SHARDS=<n>           (default 4, "sharded"/"concurrent")
 ///   FARMER_INGEST_THREADS=<n>   (default 4, "concurrent" producer slots)
 ///   FARMER_QUERY_CACHE=<n>      (default 0 = off, "concurrent" hot
@@ -105,6 +106,15 @@ inline FarmerConfig fpa_config(const Trace& trace) {
 ///   FARMER_WAL_GROUP_COMMIT=<n> (default backend = 4096, WAL commit-group
 ///                                size in records; closed groups fsync on
 ///                                a background sync thread)
+///   FARMER_CLUSTER_SHARDS=<n>   (default 2, "cluster" shard servers)
+///   FARMER_CLUSTER_TRANSPORT=<s> (default "loopback": the only registered
+///                                transport — in-process shard servers)
+///   FARMER_CLUSTER_TIMEOUT_MS=<n> (default backend = 2000, per-attempt
+///                                response deadline of a cluster request)
+///   FARMER_CLUSTER_RETRIES=<n>  (default 2, re-sends before a cluster
+///                                request fails; retries are idempotent)
+///   FARMER_CLUSTER_PIPELINE=<n> (default backend = 64, un-acked requests
+///                                in flight per shard channel)
 /// so ablations over the backend are a flag, not a recompile. The README's
 /// configuration table is the authoritative reference for these knobs.
 inline const char* miner_backend() {
@@ -184,6 +194,16 @@ inline MinerOptions miner_options() {
                 /*max_value=*/1u << 30);
   env_size_into("FARMER_WAL_GROUP_COMMIT", opts.wal_group_commit,
                 /*max_value=*/1u << 30);
+  env_size_into("FARMER_CLUSTER_SHARDS", opts.cluster_shards,
+                /*max_value=*/1024);
+  if (const char* tp = std::getenv("FARMER_CLUSTER_TRANSPORT"); tp && *tp)
+    opts.cluster_transport = tp;
+  env_size_into("FARMER_CLUSTER_TIMEOUT_MS", opts.cluster_timeout_ms,
+                /*max_value=*/600000);
+  env_size_into("FARMER_CLUSTER_RETRIES", opts.cluster_retries,
+                /*max_value=*/100);
+  env_size_into("FARMER_CLUSTER_PIPELINE", opts.cluster_pipeline,
+                /*max_value=*/1u << 20);
   return opts;
 }
 

@@ -1,0 +1,141 @@
+#include "net/frame.hpp"
+
+#include <cstring>
+#include <stdexcept>
+
+namespace farmer::net {
+
+namespace {
+
+template <typename T>
+void append_raw(std::string& out, T v) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  out.append(reinterpret_cast<const char*>(&v), sizeof v);
+}
+
+template <typename T>
+T read_raw(const char* p) {
+  T v;
+  std::memcpy(&v, p, sizeof v);
+  return v;
+}
+
+[[nodiscard]] bool valid_op(FrameKind kind, std::uint8_t raw) noexcept {
+  if (raw >= static_cast<std::uint8_t>(OpCode::kObserveBatch) &&
+      raw <= static_cast<std::uint8_t>(OpCode::kExportModel))
+    return true;
+  // kError is a response-only status.
+  return kind == FrameKind::kResponse &&
+         raw == static_cast<std::uint8_t>(OpCode::kError);
+}
+
+}  // namespace
+
+const char* op_name(OpCode op) noexcept {
+  switch (op) {
+    case OpCode::kObserveBatch: return "observe_batch";
+    case OpCode::kCorrelators: return "correlators";
+    case OpCode::kPairQuery: return "pair_query";
+    case OpCode::kAccessCount: return "access_count";
+    case OpCode::kFlush: return "flush";
+    case OpCode::kStats: return "stats";
+    case OpCode::kExportModel: return "export_model";
+    case OpCode::kError: return "error";
+  }
+  return "unknown";
+}
+
+std::string encode_frame(FrameKind kind, OpCode op, std::uint64_t request_id,
+                         std::string_view payload) {
+  if (payload.size() > kMaxFramePayload)
+    throw std::invalid_argument("frame payload exceeds kMaxFramePayload");
+  std::string out;
+  out.reserve(kFrameHeaderBytes + payload.size());
+  append_raw(out, kFrameMagic);
+  append_raw(out, static_cast<std::uint8_t>(kind));
+  append_raw(out, static_cast<std::uint8_t>(op));
+  append_raw(out, std::uint16_t{0});  // reserved
+  append_raw(out, request_id);
+  append_raw(out, static_cast<std::uint32_t>(payload.size()));
+  out.append(payload);
+  return out;
+}
+
+std::size_t announced_frame_size(std::string_view bytes) {
+  if (bytes.size() < kFrameHeaderBytes)
+    throw std::runtime_error("frame header truncated");
+  const char* p = bytes.data();
+  if (read_raw<std::uint32_t>(p) != kFrameMagic)
+    throw std::runtime_error("frame: bad magic");
+  const auto kind_raw = read_raw<std::uint8_t>(p + 4);
+  if (kind_raw != static_cast<std::uint8_t>(FrameKind::kRequest) &&
+      kind_raw != static_cast<std::uint8_t>(FrameKind::kResponse))
+    throw std::runtime_error("frame: unknown kind");
+  const auto op_raw = read_raw<std::uint8_t>(p + 5);
+  if (!valid_op(static_cast<FrameKind>(kind_raw), op_raw))
+    throw std::runtime_error("frame: unknown op code");
+  if (read_raw<std::uint16_t>(p + 6) != 0)
+    throw std::runtime_error("frame: reserved bits set");
+  const auto payload_len = read_raw<std::uint32_t>(p + 16);
+  if (payload_len > kMaxFramePayload)
+    throw std::runtime_error("frame: payload length exceeds bound");
+  return kFrameHeaderBytes + payload_len;
+}
+
+Frame decode_frame(std::string_view bytes) {
+  const std::size_t total = announced_frame_size(bytes);
+  if (bytes.size() < total) throw std::runtime_error("frame truncated");
+  if (bytes.size() > total)
+    throw std::runtime_error("frame: trailing bytes after payload");
+  Frame f;
+  f.kind = static_cast<FrameKind>(read_raw<std::uint8_t>(bytes.data() + 4));
+  f.op = static_cast<OpCode>(read_raw<std::uint8_t>(bytes.data() + 5));
+  f.request_id = read_raw<std::uint64_t>(bytes.data() + 8);
+  f.payload.assign(bytes.substr(kFrameHeaderBytes));
+  return f;
+}
+
+void FrameAssembler::feed(std::string_view bytes) {
+  if (poisoned_)
+    throw std::runtime_error("frame stream poisoned by earlier error");
+  buf_.append(bytes);
+  // Validate the header eagerly: a corrupt prefix fails here, before the
+  // buffer can grow toward a bogus announced length.
+  if (buf_.size() >= kFrameHeaderBytes) {
+    try {
+      (void)announced_frame_size(buf_);
+    } catch (...) {
+      poisoned_ = true;
+      throw;
+    }
+  }
+}
+
+std::optional<Frame> FrameAssembler::poll() {
+  if (poisoned_)
+    throw std::runtime_error("frame stream poisoned by earlier error");
+  if (buf_.size() < kFrameHeaderBytes) return std::nullopt;
+  std::size_t total = 0;
+  try {
+    total = announced_frame_size(buf_);
+  } catch (...) {
+    poisoned_ = true;
+    throw;
+  }
+  if (buf_.size() < total) return std::nullopt;
+  Frame f = decode_frame(std::string_view(buf_).substr(0, total));
+  buf_.erase(0, total);
+  // The next frame's header (if buffered) must validate too: a poisoned
+  // tail surfaces now rather than on the next feed().
+  if (buf_.size() >= kFrameHeaderBytes) {
+    try {
+      (void)announced_frame_size(buf_);
+    } catch (...) {
+      poisoned_ = true;
+      throw;
+    }
+  }
+  return f;
+}
+
+}  // namespace farmer::net

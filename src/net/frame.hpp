@@ -1,0 +1,123 @@
+// Wire framing for the message-passing shard transport.
+//
+// Every message between a cluster client and a shard server is one frame:
+//
+//   [u32 magic][u8 kind][u8 op][u16 reserved][u64 request_id]
+//   [u32 payload_len][payload bytes...]                (little-endian)
+//
+// The header is fixed at 20 bytes; `payload_len` is bounded by
+// `kMaxFramePayload` *before* any allocation happens, so a corrupt or
+// hostile length prefix can never over-allocate — the same hardening
+// discipline as the v3 trace readers (trace/trace_io.hpp). `request_id` is
+// a per-connection monotone counter: responses echo the id of the request
+// they answer, which is what lets the client pipeline many requests per
+// connection and match responses arriving out of order (reordered,
+// duplicated or retried by a faulty network).
+//
+// Two decode surfaces exist on purpose:
+//
+//   * `decode_frame` consumes exactly one complete frame (the loopback
+//     transport is message-oriented and delivers whole frames);
+//   * `FrameAssembler` re-frames a byte *stream* incrementally (feed
+//     arbitrary chunks, poll complete frames) for stream transports —
+//     sockets deliver bytes, not messages.
+//
+// Both throw std::runtime_error on any malformed input — bad magic, an
+// unknown kind or op code, a set reserved field, an oversized length, a
+// length that disagrees with the bytes present. The corruption-fuzz suite
+// in tests/test_storage.cpp pins down that truncation at every prefix
+// length and a byte flip at every offset either decodes to a well-formed
+// frame or throws — never crashes, hangs, or allocates unboundedly.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace farmer::net {
+
+inline constexpr std::uint32_t kFrameMagic = 0xFA12F7A9;
+
+/// Hard ceiling on one frame's payload (64 MiB). Anything larger is a
+/// protocol error: observe batches are capped far below this by the client,
+/// and model-export blobs that outgrow it must move to a chunked op rather
+/// than silently raising the bound every reader trusts.
+inline constexpr std::size_t kMaxFramePayload = std::size_t{1} << 26;
+
+enum class FrameKind : std::uint8_t {
+  kRequest = 1,
+  kResponse = 2,
+};
+
+/// Typed operations of the shard protocol. Requests carry one of the
+/// operation codes; a response echoes its request's op on success and
+/// carries `kError` (payload = human-readable reason) on failure.
+enum class OpCode : std::uint8_t {
+  kObserveBatch = 1,  ///< req: record array; resp: u64 records applied
+  kCorrelators = 2,   ///< req: FileId; resp: Correlator array (stored order)
+  kPairQuery = 3,     ///< req: FileId a, b; resp: PairQueryResult
+  kAccessCount = 4,   ///< req: FileId; resp: u64 N_f
+  kFlush = 5,         ///< req: empty; resp: empty (barrier ack)
+  kStats = 6,         ///< req: empty; resp: ShardStatsResult
+  kExportModel = 7,   ///< req: empty; resp: persist::serialize_shard blob
+  kError = 0x3F,      ///< responses only: payload names the failure
+};
+
+[[nodiscard]] const char* op_name(OpCode op) noexcept;
+
+/// One decoded frame. `payload` owns its bytes (decode copies out of the
+/// transport buffer, so a frame outlives the buffer it was parsed from).
+struct Frame {
+  FrameKind kind = FrameKind::kRequest;
+  OpCode op = OpCode::kFlush;
+  std::uint64_t request_id = 0;
+  std::string payload;
+};
+
+inline constexpr std::size_t kFrameHeaderBytes = 20;
+
+/// Serializes one frame (header + payload). Throws std::invalid_argument
+/// when `payload` exceeds kMaxFramePayload — the writer side enforces the
+/// same bound readers do.
+[[nodiscard]] std::string encode_frame(FrameKind kind, OpCode op,
+                                       std::uint64_t request_id,
+                                       std::string_view payload);
+
+/// Validates a frame header prefix (`bytes.size() >= kFrameHeaderBytes`)
+/// and returns the total encoded size of the frame it announces. Throws
+/// std::runtime_error on bad magic, unknown kind/op, nonzero reserved
+/// bits, or a payload length above kMaxFramePayload — header validation
+/// happens *before* anyone allocates for the payload.
+[[nodiscard]] std::size_t announced_frame_size(std::string_view bytes);
+
+/// Decodes exactly one frame from `bytes`. Throws std::runtime_error when
+/// the buffer is shorter than the header, fails header validation, is
+/// shorter than the announced payload, or carries trailing bytes after it.
+[[nodiscard]] Frame decode_frame(std::string_view bytes);
+
+/// Incremental re-framing of a byte stream. Feed chunks of any size; poll
+/// complete frames. The internal buffer never grows beyond one maximal
+/// frame plus the chunk that completed it, because the header (and thus the
+/// frame's announced size) is validated as soon as 20 bytes exist — a
+/// corrupt header throws from feed() before any payload accumulates.
+class FrameAssembler {
+ public:
+  /// Appends raw bytes. Throws std::runtime_error as soon as the buffered
+  /// prefix is provably not a frame (the stream is then poisoned and every
+  /// later call throws too — a framing error is not recoverable).
+  void feed(std::string_view bytes);
+
+  /// Returns the next complete frame, or std::nullopt when more bytes are
+  /// needed.
+  [[nodiscard]] std::optional<Frame> poll();
+
+  /// Bytes buffered but not yet returned as frames.
+  [[nodiscard]] std::size_t buffered() const noexcept { return buf_.size(); }
+
+ private:
+  std::string buf_;
+  bool poisoned_ = false;
+};
+
+}  // namespace farmer::net

@@ -1,0 +1,169 @@
+#include "net/protocol.hpp"
+
+#include <cstring>
+#include <stdexcept>
+
+#include "trace/trace_io.hpp"
+
+namespace farmer::net {
+
+namespace {
+
+template <typename T>
+void append_raw(std::string& out, T v) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  out.append(reinterpret_cast<const char*>(&v), sizeof v);
+}
+
+/// Reads the element count of a fixed-stride array and bounds it against
+/// the bytes remaining: the payload must hold exactly `count` elements.
+/// Runs before any allocation, so a corrupt count cannot over-allocate.
+std::size_t bounded_exact_count(ByteReader& in, std::size_t stride,
+                                const char* what) {
+  const auto count = in.get<std::uint32_t>();
+  if (in.remaining() != static_cast<std::size_t>(count) * stride)
+    throw std::runtime_error(std::string(what) +
+                             ": count disagrees with payload size");
+  return count;
+}
+
+void expect_done(const ByteReader& in, const char* what) {
+  if (!in.done())
+    throw std::runtime_error(std::string(what) + ": trailing bytes");
+}
+
+}  // namespace
+
+std::string encode_observe_batch(std::span<const TraceRecord> records) {
+  std::string out;
+  out.reserve(sizeof(std::uint32_t) + records.size() * kTraceRecordBytes);
+  append_raw(out, static_cast<std::uint32_t>(records.size()));
+  for (const TraceRecord& r : records) encode_record(r, out);
+  return out;
+}
+
+std::vector<TraceRecord> decode_observe_batch(std::string_view payload) {
+  ByteReader in(payload, "observe_batch payload");
+  const std::size_t count =
+      bounded_exact_count(in, kTraceRecordBytes, "observe_batch payload");
+  std::vector<TraceRecord> records;
+  records.reserve(count);
+  for (std::size_t i = 0; i < count; ++i)
+    records.push_back(decode_record(in.view(kTraceRecordBytes)));
+  expect_done(in, "observe_batch payload");
+  return records;
+}
+
+std::string encode_file_query(FileId f) {
+  std::string out;
+  append_raw(out, f.value());
+  return out;
+}
+
+FileId decode_file_query(std::string_view payload) {
+  ByteReader in(payload, "file query payload");
+  const FileId f(in.get<std::uint32_t>());
+  expect_done(in, "file query payload");
+  return f;
+}
+
+std::string encode_pair_query(FileId a, FileId b) {
+  std::string out;
+  append_raw(out, a.value());
+  append_raw(out, b.value());
+  return out;
+}
+
+void decode_pair_query(std::string_view payload, FileId& a, FileId& b) {
+  ByteReader in(payload, "pair query payload");
+  a = FileId(in.get<std::uint32_t>());
+  b = FileId(in.get<std::uint32_t>());
+  expect_done(in, "pair query payload");
+}
+
+std::string encode_u64(std::uint64_t v) {
+  std::string out;
+  append_raw(out, v);
+  return out;
+}
+
+std::uint64_t decode_u64(std::string_view payload) {
+  ByteReader in(payload, "u64 payload");
+  const auto v = in.get<std::uint64_t>();
+  expect_done(in, "u64 payload");
+  return v;
+}
+
+std::string encode_correlators(std::span<const Correlator> list) {
+  static_assert(std::is_trivially_copyable_v<Correlator>);
+  std::string out;
+  out.reserve(sizeof(std::uint32_t) +
+              list.size() * (sizeof(std::uint32_t) + sizeof(float)));
+  append_raw(out, static_cast<std::uint32_t>(list.size()));
+  for (const Correlator& c : list) {
+    append_raw(out, c.file.value());
+    append_raw(out, c.degree);
+  }
+  return out;
+}
+
+std::vector<Correlator> decode_correlators(std::string_view payload) {
+  constexpr std::size_t kStride = sizeof(std::uint32_t) + sizeof(float);
+  ByteReader in(payload, "correlators payload");
+  const std::size_t count =
+      bounded_exact_count(in, kStride, "correlators payload");
+  std::vector<Correlator> list;
+  list.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    Correlator c;
+    c.file = FileId(in.get<std::uint32_t>());
+    c.degree = in.get<float>();
+    list.push_back(c);
+  }
+  expect_done(in, "correlators payload");
+  return list;
+}
+
+std::string encode_pair_result(const PairQueryResult& r) {
+  std::string out;
+  append_raw(out, r.correlation_degree);
+  append_raw(out, r.semantic_similarity);
+  append_raw(out, r.edge_weight);
+  append_raw(out, r.graph_access_count);
+  return out;
+}
+
+PairQueryResult decode_pair_result(std::string_view payload) {
+  ByteReader in(payload, "pair result payload");
+  PairQueryResult r;
+  r.correlation_degree = in.get<double>();
+  r.semantic_similarity = in.get<double>();
+  r.edge_weight = in.get<double>();
+  r.graph_access_count = in.get<std::uint64_t>();
+  expect_done(in, "pair result payload");
+  return r;
+}
+
+std::string encode_stats_result(const ShardStatsResult& r) {
+  std::string out;
+  append_raw(out, r.requests);
+  append_raw(out, r.pairs_evaluated);
+  append_raw(out, r.pairs_accepted);
+  append_raw(out, r.pairs_filtered);
+  append_raw(out, r.footprint_bytes);
+  return out;
+}
+
+ShardStatsResult decode_stats_result(std::string_view payload) {
+  ByteReader in(payload, "stats result payload");
+  ShardStatsResult r;
+  r.requests = in.get<std::uint64_t>();
+  r.pairs_evaluated = in.get<std::uint64_t>();
+  r.pairs_accepted = in.get<std::uint64_t>();
+  r.pairs_filtered = in.get<std::uint64_t>();
+  r.footprint_bytes = in.get<std::uint64_t>();
+  expect_done(in, "stats result payload");
+  return r;
+}
+
+}  // namespace farmer::net

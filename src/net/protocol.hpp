@@ -1,0 +1,92 @@
+// Payload codecs of the shard protocol — the bytes inside a Frame.
+//
+// One codec, two users: the cluster client (net/cluster_miner.*) encodes
+// requests and decodes responses, the shard server (net/shard_server.*)
+// does the reverse. Keeping both directions in one translation unit is what
+// makes the differential gate ("cluster-over-loopback is byte-identical to
+// sharded") a structural property: there is no second serializer to drift.
+//
+// Every decoder is hardened the same way the trace readers are
+// (trace/trace_io.hpp): element counts are bounded against the bytes
+// actually present *before* any allocation, trailing bytes are rejected,
+// and scalar reads go through the bounds-checked ByteReader — a truncated
+// or bit-flipped payload throws std::runtime_error, never over-allocates
+// or reads past the buffer. The corruption-fuzz suite flips every byte of
+// every payload type to pin this down.
+//
+// Floating-point fields travel as raw IEEE-754 bit patterns (memcpy), so a
+// degree or correlation computed on a shard server arrives at the client
+// bit-identical — the differential tests compare with std::bit_cast, not
+// with an epsilon.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "graph/correlation_graph.hpp"
+#include "trace/record.hpp"
+
+namespace farmer::net {
+
+/// One shard's answers to every pairwise query on (a, b), fetched in a
+/// single round trip. The client folds these across shards with exactly
+/// the ShardedFarmer::merged_* arithmetic: max for the degrees, summed
+/// edge_weight / summed access count for the global access frequency.
+struct PairQueryResult {
+  double correlation_degree = 0.0;
+  double semantic_similarity = 0.0;
+  double edge_weight = 0.0;            ///< graph().edge_weight(pred, succ)
+  std::uint64_t graph_access_count = 0;  ///< graph().access_count(pred)
+};
+
+/// One shard's mining counters + footprint (the MinerStats subset a remote
+/// shard contributes; the client sums them in shard order).
+struct ShardStatsResult {
+  std::uint64_t requests = 0;
+  std::uint64_t pairs_evaluated = 0;
+  std::uint64_t pairs_accepted = 0;
+  std::uint64_t pairs_filtered = 0;
+  std::uint64_t footprint_bytes = 0;
+};
+
+// ---- requests -----------------------------------------------------------
+
+/// [u32 count][count x TraceRecord raw] — the kObserveBatch request body.
+[[nodiscard]] std::string encode_observe_batch(
+    std::span<const TraceRecord> records);
+/// Bounded decode: `count` must match the bytes present exactly. Record
+/// *contents* are validated by the server against its dictionary
+/// (trace_io validate_record), not here.
+[[nodiscard]] std::vector<TraceRecord> decode_observe_batch(
+    std::string_view payload);
+
+/// [u32 file] — kCorrelators / kAccessCount request body.
+[[nodiscard]] std::string encode_file_query(FileId f);
+[[nodiscard]] FileId decode_file_query(std::string_view payload);
+
+/// [u32 a][u32 b] — kPairQuery request body.
+[[nodiscard]] std::string encode_pair_query(FileId a, FileId b);
+void decode_pair_query(std::string_view payload, FileId& a, FileId& b);
+
+// ---- responses ----------------------------------------------------------
+
+/// [u64 value] — kObserveBatch (records applied) and kAccessCount (N_f).
+[[nodiscard]] std::string encode_u64(std::uint64_t v);
+[[nodiscard]] std::uint64_t decode_u64(std::string_view payload);
+
+/// [u32 count][count x {u32 file, f32 degree}] — kCorrelators response, in
+/// the shard's stored list order (already degree-sorted per shard).
+[[nodiscard]] std::string encode_correlators(std::span<const Correlator> list);
+[[nodiscard]] std::vector<Correlator> decode_correlators(
+    std::string_view payload);
+
+[[nodiscard]] std::string encode_pair_result(const PairQueryResult& r);
+[[nodiscard]] PairQueryResult decode_pair_result(std::string_view payload);
+
+[[nodiscard]] std::string encode_stats_result(const ShardStatsResult& r);
+[[nodiscard]] ShardStatsResult decode_stats_result(std::string_view payload);
+
+}  // namespace farmer::net

@@ -1,0 +1,182 @@
+#include "net/shard_server.hpp"
+
+#include <utility>
+
+#include "net/protocol.hpp"
+#include "persist/checkpoint.hpp"
+#include "persist/durable_miner.hpp"
+#include "trace/trace_io.hpp"
+
+namespace farmer::net {
+
+namespace {
+
+/// Poll interval while idle: short enough that stop() is prompt, long
+/// enough that an idle shard server costs nothing measurable.
+constexpr std::chrono::milliseconds kIdlePoll{50};
+
+}  // namespace
+
+ShardServer::ShardServer(FarmerConfig cfg,
+                         std::shared_ptr<const TraceDictionary> dict,
+                         std::unique_ptr<Transport> transport, Options opts)
+    : dict_(std::move(dict)), transport_(std::move(transport)) {
+  auto farmer = std::make_unique<Farmer>(cfg, dict_);
+  farmer_ = farmer.get();
+  if (opts.persist_dir.empty()) {
+    miner_ = std::move(farmer);
+  } else {
+    persist::Options popts;
+    popts.dir = opts.persist_dir;
+    popts.checkpoint_interval_records = opts.checkpoint_interval_records;
+    popts.wal_group_commit = opts.wal_group_commit;
+    miner_ = std::make_unique<persist::DurableMiner>(
+        std::move(farmer), std::vector<Farmer*>{farmer_}, cfg, dict_,
+        std::move(popts));
+  }
+  thread_ = std::thread([this] { serve(); });
+}
+
+ShardServer::~ShardServer() { stop(); }
+
+void ShardServer::stop() {
+  transport_->close();
+  if (thread_.joinable()) thread_.join();
+}
+
+void ShardServer::serve() {
+  for (;;) {
+    auto msg = transport_->receive(kIdlePoll);
+    if (!msg) {
+      if (transport_->closed()) return;
+      continue;  // idle poll; check for close and wait again
+    }
+    Frame req;
+    try {
+      req = decode_frame(*msg);
+    } catch (const std::exception&) {
+      // Corrupt framing is transport state, not request data: sever the
+      // connection rather than guess at recovery.
+      transport_->close();
+      return;
+    }
+    if (req.kind != FrameKind::kRequest) continue;  // stray response: drop
+    if (!transport_->send(handle(req))) return;
+  }
+}
+
+void ShardServer::remember(std::uint64_t id, const std::string& response) {
+  recent_acks_.emplace_back(id, response);
+  if (recent_acks_.size() > kRecentAckCapacity) recent_acks_.pop_front();
+}
+
+bool ShardServer::already_processed(std::uint64_t id) const {
+  return id <= watermark_ || processed_.count(id) != 0;
+}
+
+void ShardServer::mark_processed(std::uint64_t id) {
+  if (id <= watermark_) return;
+  processed_.insert(id);
+  while (processed_.erase(watermark_ + 1) != 0) ++watermark_;
+  // Safety valve: a request the client gave up on leaves a permanent hole
+  // under the overflow ids. Swallow the hole rather than grow unboundedly
+  // (the client already surfaced that request as an error).
+  while (processed_.size() > kProcessedOverflowCap) {
+    watermark_ = *processed_.begin();
+    processed_.erase(processed_.begin());
+    while (processed_.erase(watermark_ + 1) != 0) ++watermark_;
+  }
+}
+
+std::string ShardServer::handle(const Frame& req) {
+  const bool duplicate = already_processed(req.request_id);
+  if (duplicate && req.op == OpCode::kObserveBatch) {
+    // A retry of a batch this server already processed (the response was
+    // lost, not the request). Re-send the recorded response without
+    // re-applying — that is the idempotency guarantee.
+    for (const auto& [id, resp] : recent_acks_)
+      if (id == req.request_id) return resp;
+    // Evicted from the ack cache (can only happen far outside the
+    // client's retry window): rebuild the ack from the payload.
+    try {
+      return encode_frame(
+          FrameKind::kResponse, OpCode::kObserveBatch, req.request_id,
+          encode_u64(decode_observe_batch(req.payload).size()));
+    } catch (const std::exception& e) {
+      return encode_frame(FrameKind::kResponse, OpCode::kError,
+                          req.request_id,
+                          std::string(op_name(req.op)) + ": " + e.what());
+    }
+  }
+  // Fresh request — or a duplicate pure query / idempotent flush, which is
+  // simply re-answered. Mark BEFORE the response can be lost: processing
+  // happens exactly once either way.
+  std::string resp = process(req);
+  if (!duplicate) mark_processed(req.request_id);
+  if (req.op == OpCode::kObserveBatch) remember(req.request_id, resp);
+  return resp;
+}
+
+std::string ShardServer::process(const Frame& req) {
+  const auto respond = [&](OpCode op, std::string payload) {
+    return encode_frame(FrameKind::kResponse, op, req.request_id,
+                        std::move(payload));
+  };
+  try {
+    switch (req.op) {
+      case OpCode::kObserveBatch: {
+        const std::vector<TraceRecord> records =
+            decode_observe_batch(req.payload);
+        for (const TraceRecord& r : records) validate_record(r, *dict_);
+        miner_->observe_batch(records);
+        return respond(OpCode::kObserveBatch, encode_u64(records.size()));
+      }
+      case OpCode::kCorrelators: {
+        const FileId f = decode_file_query(req.payload);
+        const auto& list = farmer_->correlator_list(f);
+        return respond(OpCode::kCorrelators,
+                       encode_correlators({list.data(), list.size()}));
+      }
+      case OpCode::kPairQuery: {
+        FileId a, b;
+        decode_pair_query(req.payload, a, b);
+        PairQueryResult r;
+        r.correlation_degree = farmer_->correlation_degree(a, b);
+        r.semantic_similarity = farmer_->semantic_similarity(a, b);
+        r.edge_weight = farmer_->graph().edge_weight(a, b);
+        r.graph_access_count = farmer_->graph().access_count(a);
+        return respond(OpCode::kPairQuery, encode_pair_result(r));
+      }
+      case OpCode::kAccessCount: {
+        const FileId f = decode_file_query(req.payload);
+        return respond(OpCode::kAccessCount,
+                       encode_u64(farmer_->access_count(f)));
+      }
+      case OpCode::kFlush: {
+        miner_->flush();
+        return respond(OpCode::kFlush, std::string());
+      }
+      case OpCode::kStats: {
+        const MinerStats s = miner_->stats();
+        ShardStatsResult r;
+        r.requests = s.requests;
+        r.pairs_evaluated = s.pairs_evaluated;
+        r.pairs_accepted = s.pairs_accepted;
+        r.pairs_filtered = s.pairs_filtered;
+        r.footprint_bytes = miner_->footprint_bytes();
+        return respond(OpCode::kStats, encode_stats_result(r));
+      }
+      case OpCode::kExportModel:
+        return respond(OpCode::kExportModel,
+                       persist::serialize_shard(*farmer_));
+      case OpCode::kError:
+        throw std::runtime_error("kError is response-only");
+    }
+    throw std::runtime_error("unhandled op code");
+  } catch (const std::exception& e) {
+    return respond(OpCode::kError,
+                   std::string(op_name(req.op)) + ": " + e.what());
+  }
+}
+
+}  // namespace farmer::net

@@ -1,0 +1,113 @@
+// Shard server: one Farmer partition behind a Transport.
+//
+// A ShardServer owns one Farmer (the model state of one cluster shard) and
+// a serve thread that pulls request frames off its transport, dispatches
+// them by op code, and sends one response frame per request — in arrival
+// order, so a query sent after an observe on the same connection always
+// sees that observe applied (the ordering guarantee the cluster client's
+// pipelining relies on).
+//
+// Idempotent retries: the client allocates request ids monotonically per
+// connection and only ever re-sends an id it already sent, so the server
+// can tell a retry of an already-processed request (response was lost)
+// from a late first delivery of a dropped request: it tracks the exact
+// processed-id set as a contiguous watermark plus a sparse overflow (a
+// high-water mark alone would be wrong — a dropped observe retried after
+// a later request went through must still be APPLIED, not re-acked).
+// Retried observe_batch requests are acknowledged from a bounded cache of
+// recent responses — never re-applied — which is what makes "timeout,
+// retry, succeed" safe for mutating ops. Pure queries are re-answered.
+//
+// Durability: with Options::persist_dir set the Farmer is wrapped in a
+// persist::DurableMiner (WAL-append-then-apply + periodic checkpoints +
+// recovery on construction), exactly like the factory wraps the local
+// synchronous backends — so killing a shard server process and
+// reconstructing it replays the shard's durable prefix.
+//
+// Failure contract: a malformed frame poisons the connection (the server
+// closes it — framing is trusted transport state, not request data); a
+// malformed *payload* or a validation failure inside a well-framed request
+// yields a kError response carrying the message, and the server keeps
+// serving.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <set>
+#include <string>
+#include <thread>
+
+#include "core/farmer.hpp"
+#include "net/frame.hpp"
+#include "net/transport.hpp"
+
+namespace farmer::net {
+
+class ShardServer {
+ public:
+  struct Options {
+    /// Durable persistence directory for this shard (empty = off). The
+    /// cluster factory passes `<persist_dir>/shard<i>`.
+    std::string persist_dir;
+    std::size_t checkpoint_interval_records = 0;  ///< 0 = persist default
+    std::size_t wal_group_commit = 0;             ///< 0 = persist default
+  };
+
+  /// Builds the shard model (recovering from `opts.persist_dir` when set)
+  /// and starts the serve thread. The server owns the transport end it is
+  /// given and serves until the peer closes or stop() is called.
+  ShardServer(FarmerConfig cfg, std::shared_ptr<const TraceDictionary> dict,
+              std::unique_ptr<Transport> transport, Options opts);
+
+  /// Stops and joins the serve thread.
+  ~ShardServer();
+
+  ShardServer(const ShardServer&) = delete;
+  ShardServer& operator=(const ShardServer&) = delete;
+
+  /// Closes the transport and joins the serve thread. Idempotent.
+  void stop();
+
+  /// The shard's Farmer. Only safe once the serve thread cannot be
+  /// processing requests anymore (after stop(), or when the test owns the
+  /// only client end and is not sending) — tests use this for the
+  /// byte-identity comparison against ShardedFarmer::shard(i).
+  [[nodiscard]] const Farmer& shard() const noexcept { return *farmer_; }
+
+ private:
+  void serve();
+  /// Duplicate detection + idempotency shell around process().
+  [[nodiscard]] std::string handle(const Frame& req);
+  /// Dispatches one fresh request; never throws (errors become kError
+  /// responses).
+  [[nodiscard]] std::string process(const Frame& req);
+  void remember(std::uint64_t id, const std::string& response);
+  [[nodiscard]] bool already_processed(std::uint64_t id) const;
+  void mark_processed(std::uint64_t id);
+
+  std::shared_ptr<const TraceDictionary> dict_;
+  /// The model behind the ingest interface: the Farmer itself, or the
+  /// DurableMiner wrapping it when persistence is on. Query and export ops
+  /// go straight to `farmer_` (the concrete surface), mutating ops through
+  /// `miner_` (so the WAL hook runs).
+  std::unique_ptr<CorrelationMiner> miner_;
+  Farmer* farmer_ = nullptr;
+  std::unique_ptr<Transport> transport_;
+
+  /// Processed-id set: every id <= watermark_ plus the sparse ids above
+  /// it. Holes above the watermark are requests lost in flight (bounded by
+  /// the client's pipeline depth), so the overflow set stays tiny; a
+  /// safety valve force-advances the watermark if a permanent hole would
+  /// otherwise let it grow.
+  std::uint64_t watermark_ = 0;
+  std::set<std::uint64_t> processed_;
+  static constexpr std::size_t kProcessedOverflowCap = 4096;
+  /// Recent observe_batch responses for retry acks, oldest first, bounded.
+  std::deque<std::pair<std::uint64_t, std::string>> recent_acks_;
+  static constexpr std::size_t kRecentAckCapacity = 256;
+
+  std::thread thread_;
+};
+
+}  // namespace farmer::net

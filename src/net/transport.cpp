@@ -1,0 +1,201 @@
+#include "net/transport.hpp"
+
+#include <condition_variable>
+#include <mutex>
+#include <thread>
+
+namespace farmer::net {
+
+namespace {
+
+/// The shared state of one loopback channel: two FIFO queues (one per
+/// direction) behind one mutex. Both endpoints hold a shared_ptr, so the
+/// channel lives until the last endpoint is destroyed.
+struct LoopbackChannel {
+  std::mutex mu;
+  std::condition_variable cv;
+  std::deque<std::string> to_a;  ///< frames b sent toward a
+  std::deque<std::string> to_b;  ///< frames a sent toward b
+  bool closed = false;
+};
+
+class LoopbackEndpoint final : public Transport {
+ public:
+  LoopbackEndpoint(std::shared_ptr<LoopbackChannel> ch, bool is_a)
+      : ch_(std::move(ch)), is_a_(is_a) {}
+  ~LoopbackEndpoint() override { close(); }
+
+  bool send(std::string frame) override {
+    std::lock_guard<std::mutex> lock(ch_->mu);
+    if (ch_->closed) return false;
+    (is_a_ ? ch_->to_b : ch_->to_a).push_back(std::move(frame));
+    ch_->cv.notify_all();
+    return true;
+  }
+
+  std::optional<std::string> receive(
+      std::chrono::milliseconds timeout) override {
+    std::unique_lock<std::mutex> lock(ch_->mu);
+    auto& inbox = is_a_ ? ch_->to_a : ch_->to_b;
+    // Drain-after-close: frames delivered before the close still arrive.
+    ch_->cv.wait_for(lock, timeout,
+                     [&] { return !inbox.empty() || ch_->closed; });
+    if (inbox.empty()) return std::nullopt;
+    std::string frame = std::move(inbox.front());
+    inbox.pop_front();
+    return frame;
+  }
+
+  void close() override {
+    std::lock_guard<std::mutex> lock(ch_->mu);
+    ch_->closed = true;
+    ch_->cv.notify_all();
+  }
+
+  bool closed() const override {
+    std::lock_guard<std::mutex> lock(ch_->mu);
+    return ch_->closed;
+  }
+
+ private:
+  std::shared_ptr<LoopbackChannel> ch_;
+  bool is_a_;
+};
+
+}  // namespace
+
+std::pair<std::unique_ptr<Transport>, std::unique_ptr<Transport>>
+make_loopback_pair() {
+  auto ch = std::make_shared<LoopbackChannel>();
+  return {std::make_unique<LoopbackEndpoint>(ch, /*is_a=*/true),
+          std::make_unique<LoopbackEndpoint>(ch, /*is_a=*/false)};
+}
+
+// ---------------------------------------------------- FaultyTransport ----
+
+struct FaultyTransport::Impl {
+  std::unique_ptr<Transport> inner;
+  mutable std::mutex mu;
+  std::size_t drop_sends = 0;
+  std::size_t drop_receives = 0;
+  std::size_t duplicate_receives = 0;
+  bool reorder = false;
+  std::size_t delay_receives = 0;
+  std::chrono::milliseconds delay{0};
+  /// Locally queued frames: duplicated copies and reorder-swapped frames
+  /// are delivered from here before touching the wrapped endpoint.
+  std::deque<std::string> staged;
+};
+
+FaultyTransport::FaultyTransport(std::unique_ptr<Transport> inner)
+    : impl_(std::make_unique<Impl>()) {
+  impl_->inner = std::move(inner);
+}
+
+FaultyTransport::~FaultyTransport() = default;
+
+void FaultyTransport::drop_next_sends(std::size_t n) {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  impl_->drop_sends += n;
+}
+
+void FaultyTransport::drop_next_receives(std::size_t n) {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  impl_->drop_receives += n;
+}
+
+void FaultyTransport::duplicate_next_receive() {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  ++impl_->duplicate_receives;
+}
+
+void FaultyTransport::reorder_next_receives() {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  impl_->reorder = true;
+}
+
+void FaultyTransport::delay_next_receives(std::size_t n,
+                                          std::chrono::milliseconds delay) {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  impl_->delay_receives += n;
+  impl_->delay = delay;
+}
+
+void FaultyTransport::sever() { impl_->inner->close(); }
+
+bool FaultyTransport::send(std::string frame) {
+  {
+    std::lock_guard<std::mutex> lock(impl_->mu);
+    if (impl_->drop_sends > 0) {
+      --impl_->drop_sends;
+      // Pretend the wire ate it: report success, deliver nothing.
+      return !impl_->inner->closed();
+    }
+  }
+  return impl_->inner->send(std::move(frame));
+}
+
+std::optional<std::string> FaultyTransport::receive(
+    std::chrono::milliseconds timeout) {
+  const auto deadline = std::chrono::steady_clock::now() + timeout;
+  for (;;) {
+    // Staged frames (duplicates, reordered seconds) deliver first.
+    {
+      std::lock_guard<std::mutex> lock(impl_->mu);
+      if (!impl_->staged.empty()) {
+        std::string f = std::move(impl_->staged.front());
+        impl_->staged.pop_front();
+        return f;
+      }
+    }
+    const auto now = std::chrono::steady_clock::now();
+    if (now >= deadline) return std::nullopt;
+    auto frame = impl_->inner->receive(
+        std::chrono::duration_cast<std::chrono::milliseconds>(deadline -
+                                                              now));
+    if (!frame) return std::nullopt;
+
+    std::unique_lock<std::mutex> lock(impl_->mu);
+    if (impl_->drop_receives > 0) {
+      --impl_->drop_receives;
+      continue;  // the response evaporates; keep waiting
+    }
+    if (impl_->delay_receives > 0) {
+      --impl_->delay_receives;
+      const auto delay = impl_->delay;
+      lock.unlock();
+      std::this_thread::sleep_for(delay);
+      lock.lock();
+    }
+    if (impl_->reorder) {
+      impl_->reorder = false;
+      // Hold this frame back; deliver the next one first, then this one.
+      auto next = [&]() -> std::optional<std::string> {
+        lock.unlock();
+        auto n = impl_->inner->receive(
+            std::chrono::duration_cast<std::chrono::milliseconds>(
+                std::max(deadline - std::chrono::steady_clock::now(),
+                         std::chrono::steady_clock::duration::zero())));
+        lock.lock();
+        return n;
+      }();
+      if (next) {
+        impl_->staged.push_back(std::move(*frame));
+        return next;
+      }
+      // Nothing followed in time: deliver in order after all.
+      return frame;
+    }
+    if (impl_->duplicate_receives > 0) {
+      --impl_->duplicate_receives;
+      impl_->staged.push_back(*frame);
+    }
+    return frame;
+  }
+}
+
+void FaultyTransport::close() { impl_->inner->close(); }
+
+bool FaultyTransport::closed() const { return impl_->inner->closed(); }
+
+}  // namespace farmer::net

@@ -1,0 +1,114 @@
+// Message-passing transport under the shard protocol.
+//
+// A `Transport` is one endpoint of a bidirectional, ordered,
+// message-oriented channel: send() enqueues one encoded frame toward the
+// peer, receive() dequeues the next frame the peer sent (blocking up to a
+// timeout). Delivery is at-most-once and FIFO per direction — exactly the
+// contract a TCP connection carrying length-prefixed frames provides —
+// so everything built on top (the shard server loop, the cluster client's
+// pipelining and retry) ports to a socket transport unchanged.
+//
+// Two implementations ship:
+//
+//   * `make_loopback_pair()` — an in-process channel (mutex + condvar +
+//     deque per direction). CI needs no network: the "cluster" backend
+//     runs its shard servers on threads of the same process, which also
+//     makes the fork+SIGKILL crash tests meaningful (killing the process
+//     kills every shard server mid-request).
+//   * `FaultyTransport` — a chaos decorator over any endpoint: it drops,
+//     duplicates, reorders, or delays *received* messages and can drop
+//     *sent* messages or sever the connection mid-request, on a scripted
+//     deterministic plan. The fault-injection suite drives it to pin down
+//     the cluster backend's failure contract (bounded-time errors, capped
+//     idempotent retries — never a hang).
+//
+// Close semantics: close() wakes every blocked receive() on both ends.
+// After the peer closed, receive() drains whatever was already delivered,
+// then returns std::nullopt with closed() == true — the reader can always
+// distinguish "timed out" (closed() false) from "connection gone".
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <optional>
+#include <string>
+#include <utility>
+
+namespace farmer::net {
+
+class Transport {
+ public:
+  virtual ~Transport() = default;
+
+  /// Enqueues one frame toward the peer. Returns false when the channel is
+  /// closed (either end); the frame is then dropped.
+  virtual bool send(std::string frame) = 0;
+
+  /// Next frame from the peer, waiting up to `timeout`. std::nullopt on
+  /// timeout or when the channel is closed and drained — check closed().
+  [[nodiscard]] virtual std::optional<std::string> receive(
+      std::chrono::milliseconds timeout) = 0;
+
+  /// Closes this end: pending receives on both ends wake up. Idempotent.
+  virtual void close() = 0;
+
+  /// True once either end closed. A closed transport still drains frames
+  /// delivered before the close.
+  [[nodiscard]] virtual bool closed() const = 0;
+};
+
+/// Creates a connected in-process channel; `.first` is conventionally the
+/// client end and `.second` the server end. Both endpoints are thread-safe
+/// and share ownership of the underlying queues, so either may outlive the
+/// other.
+[[nodiscard]] std::pair<std::unique_ptr<Transport>, std::unique_ptr<Transport>>
+make_loopback_pair();
+
+/// Scripted chaos decorator (fault-injection tests and chaos drills).
+///
+/// Faults are *scripted*, not probabilistic: the test enqueues explicit
+/// fault actions and the decorator applies them to the next matching
+/// messages, so every failure scenario is deterministic and replayable.
+/// All fault state is internally synchronized — the decorator is as
+/// thread-safe as the wrapped endpoint.
+class FaultyTransport final : public Transport {
+ public:
+  explicit FaultyTransport(std::unique_ptr<Transport> inner);
+  ~FaultyTransport() override;
+
+  // ---- fault plan (call from the test thread at any time) ----
+
+  /// Drops the next `n` frames passed to send() (requests vanish on the
+  /// wire; the peer never sees them).
+  void drop_next_sends(std::size_t n);
+  /// Drops the next `n` frames receive() would have returned (responses
+  /// vanish; the peer already processed the request).
+  void drop_next_receives(std::size_t n);
+  /// Delivers the next received frame twice (duplicate response).
+  void duplicate_next_receive();
+  /// Swaps the delivery order of the next two received frames.
+  void reorder_next_receives();
+  /// Delays each of the next `n` received frames by `delay` before
+  /// delivery (still within the caller's timeout budget or not — the
+  /// caller's deadline decides).
+  void delay_next_receives(std::size_t n, std::chrono::milliseconds delay);
+  /// Severs the connection as a crashed peer would: closes the underlying
+  /// channel. Everything in flight is lost; future sends fail.
+  void sever();
+
+  // ---- Transport ----
+
+  bool send(std::string frame) override;
+  [[nodiscard]] std::optional<std::string> receive(
+      std::chrono::milliseconds timeout) override;
+  void close() override;
+  [[nodiscard]] bool closed() const override;
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace farmer::net
