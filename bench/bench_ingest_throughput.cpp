@@ -12,6 +12,11 @@
 //      flush(), with the synchronous "sharded" observe_batch() path as the
 //      0-producer baseline and a publish-coalescing variant showing fewer
 //      table swaps for the same stream.
+//   1b. Parallel apply lanes: the same chunked stream through the
+//      shard-disjoint worker pool behind observe_batch() at 1/2/4/8 apply
+//      lanes (FARMER_APPLY_THREADS), on both the sharded (caller-driven)
+//      and concurrent (drain-driven) paths; every row builds the
+//      byte-identical model.
 //   2. Publish cost vs dirty-set size: a single shard seeded with
 //      FARMER_BENCH_FILES files (default 100k), then ingest rounds drawing
 //      a Zipf(1.2) hot set. Each round is published twice — once through
@@ -410,6 +415,59 @@ int main(int argc, char** argv) {
                     std::to_string(s.publishes)});
   }
   if (!json) ingest.print(std::cout);
+
+  // ----------------------------------------------- parallel apply lanes --
+  // The shard-disjoint apply path by itself: the same chunked stream into
+  // "sharded" (caller thread drives observe_batch) and "concurrent" (drain
+  // thread hands collected batches to the same apply) at 1/2/4/8 worker
+  // lanes. Every row builds the byte-identical model — the lanes only touch
+  // disjoint shards — so records/s is the entire difference. 8 shards so
+  // each lane count up to 8 owns at least one shard.
+  Table parallel_apply({"scenario", "records", "seconds", "records/s"});
+  {
+    const std::size_t n = trace.records.size();
+    const auto chunked_replay = [&](CorrelationMiner& miner) {
+      const auto start = std::chrono::steady_clock::now();
+      constexpr std::size_t kChunk = 256;
+      for (std::size_t i = 0; i < n; i += kChunk) {
+        const std::size_t len = std::min(kChunk, n - i);
+        miner.observe_batch(
+            std::span<const TraceRecord>(&trace.records[i], len));
+      }
+      miner.flush();
+      const auto end = std::chrono::steady_clock::now();
+      return std::chrono::duration<double>(end - start).count();
+    };
+    const auto add_apply_row = [&](const std::string& label, double secs) {
+      parallel_apply.add_row({label, std::to_string(n), fmt_double(secs, 3),
+                              fmt_double(static_cast<double>(n) / secs, 0)});
+    };
+    MinerOptions popts = opts;
+    popts.shards = 8;
+    for (const std::size_t lanes : {1u, 2u, 4u, 8u}) {
+      popts.apply_threads = lanes;
+      {
+        const auto miner = make_miner("sharded", cfg, trace.dict, popts);
+        add_apply_row("sharded x" + std::to_string(lanes),
+                      chunked_replay(*miner));
+      }
+      {
+        popts.ingest_threads = 2;
+        const auto miner = make_miner("concurrent", cfg, trace.dict, popts);
+        const auto cparts = partition_by_process(trace, 2);
+        add_apply_row("concurrent x" + std::to_string(lanes),
+                      concurrent_replay(*miner, cparts));
+      }
+    }
+  }
+  if (!json) {
+    std::cout << "\nParallel shard-disjoint apply: the same chunked stream "
+                 "at 1/2/4/8 apply lanes (FARMER_APPLY_THREADS), sharded "
+                 "(caller-driven observe_batch) and concurrent (drain-driven) "
+                 "over 8 shards; every row builds the byte-identical "
+                 "model:\n\n";
+    parallel_apply.print(std::cout);
+  }
 
   // ---------------------------------------------------- publish-cost scan --
   std::size_t publish_files = 100000;
@@ -842,6 +900,8 @@ int main(int argc, char** argv) {
               << bench_scale() << ", \"publish_files\": " << publish_files
               << ", \"tables\": [";
     ingest.print_json(std::cout, "pure_ingest");
+    std::cout << ", ";
+    parallel_apply.print_json(std::cout, "parallel_apply");
     std::cout << ", ";
     publish.print_json(std::cout, "publish_cost");
     std::cout << ", ";

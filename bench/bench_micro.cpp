@@ -4,12 +4,17 @@
 // operations.
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
 #include <atomic>
+#include <vector>
 
 #include "bench_util.hpp"
 #include "common/rng.hpp"
 #include "common/zipf.hpp"
 #include "cache/metadata_cache.hpp"
+#include "core/cominer.hpp"
+#include "core/extractor.hpp"
+#include "core/farmer.hpp"
 #include "kvstore/btree.hpp"
 #include "vsm/similarity.hpp"
 
@@ -40,6 +45,31 @@ void BM_SimilarityIPA(benchmark::State& state) {
 }
 BENCHMARK(BM_SimilarityIPA);
 
+void BM_MultisetIntersection(benchmark::State& state) {
+  // Args = {|a|, |b|}: comparable sizes take the branch-light linear merge,
+  // skewed pairs (|b| >= 16 * |a|) take the galloping path.
+  const auto na = static_cast<std::size_t>(state.range(0));
+  const auto nb = static_cast<std::size_t>(state.range(1));
+  Rng rng(42);
+  std::vector<TokenId> a, b;
+  a.reserve(na);
+  b.reserve(nb);
+  for (std::size_t i = 0; i < na; ++i)
+    a.emplace_back(static_cast<std::uint32_t>(rng.next_below(1u << 16)));
+  for (std::size_t i = 0; i < nb; ++i)
+    b.emplace_back(static_cast<std::uint32_t>(rng.next_below(1u << 16)));
+  std::sort(a.begin(), a.end());
+  std::sort(b.begin(), b.end());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        multiset_intersection(a.data(), a.size(), b.data(), b.size()));
+  }
+}
+BENCHMARK(BM_MultisetIntersection)
+    ->Args({8, 8})      // typical signature-vs-signature sizes: linear merge
+    ->Args({12, 256})   // just past the skew threshold: gallop
+    ->Args({8, 4096});  // heavily skewed: gallop saves almost every compare
+
 void BM_BuildSignature(benchmark::State& state) {
   Interner in;
   SemanticVector a;
@@ -55,6 +85,34 @@ void BM_BuildSignature(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_BuildSignature);
+
+void BM_EvaluatePair(benchmark::State& state) {
+  // Stage 3 steady state: one R(x, y) evaluation including the
+  // Correlator-List upsert, on signatures extracted from real HP-trace
+  // records.
+  const Trace& trace = hp();
+  const FarmerConfig cfg = fpa_config(trace);
+  CorrelationGraph g({cfg.max_successors, cfg.correlator_capacity});
+  CoMiner miner(cfg, g);
+  const Extractor ex(trace.dict);
+  const TraceRecord& ra = trace.records[0];
+  std::size_t j = 1;
+  while (j < trace.records.size() && trace.records[j].file == ra.file) ++j;
+  const TraceRecord& rb = trace.records[j % trace.records.size()];
+  SemanticVector va, vb;
+  ex.extract(ra, va);
+  ex.extract(rb, vb);
+  const Signature sa = build_signature(va, cfg.attributes, cfg.path_mode);
+  const Signature sb = build_signature(vb, cfg.attributes, cfg.path_mode);
+  g.record_access(ra.file);
+  g.record_access(rb.file);
+  g.add_transition(ra.file, rb.file, 1.0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(miner.evaluate_pair(ra.file, sa, rb.file, sb));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_EvaluatePair);
 
 void BM_GraphTransition(benchmark::State& state) {
   CorrelationGraph g;
@@ -83,6 +141,22 @@ void BM_FarmerObserve(benchmark::State& state) {
   state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
 }
 BENCHMARK(BM_FarmerObserve);
+
+void BM_ObserveKernel(benchmark::State& state) {
+  // The serial observe kernel in isolation: a plain Farmer (no factory, no
+  // sharding, no queues) replaying the HP trace. This is the records/s
+  // number the ingest-kernel optimizations (invariant hoisting, order
+  // repair, signature memoization) move directly.
+  const Trace& trace = hp();
+  Farmer model(fpa_config(trace), trace.dict);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    model.observe(trace.records[i % trace.records.size()]);
+    ++i;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_ObserveKernel);
 
 void BM_ConcurrentIngest(benchmark::State& state) {
   // Multi-threaded trace-replay driver: Arg = producer threads pushing

@@ -84,6 +84,11 @@ inline FarmerConfig fpa_config(const Trace& trace) {
 ///                               (default "farmer")
 ///   FARMER_SHARDS=<n>           (default 4, "sharded"/"concurrent")
 ///   FARMER_INGEST_THREADS=<n>   (default 4, "concurrent" producer slots)
+///   FARMER_APPLY_THREADS=<n>    (default 0 = auto: worker lanes for the
+///                                shard-disjoint parallel apply behind
+///                                observe_batch on "sharded"/"concurrent";
+///                                1 = serial apply, capped at the shard
+///                                count, byte-identical at every setting)
 ///   FARMER_QUERY_CACHE=<n>      (default 0 = off, "concurrent" hot
 ///                                Correlator-List cache entries)
 ///   FARMER_MAX_PENDING=<n>      (default backend, "concurrent" ingest
@@ -174,6 +179,7 @@ inline MinerOptions miner_options() {
   MinerOptions opts;
   env_size_into("FARMER_SHARDS", opts.shards);
   env_size_into("FARMER_INGEST_THREADS", opts.ingest_threads);
+  env_size_into("FARMER_APPLY_THREADS", opts.apply_threads);
   // Capacity knobs get a generous ceiling; 0 stays "disabled"/"default"
   // (env_size_into rejects 0, matching the defaults already meaning that).
   env_size_into("FARMER_QUERY_CACHE", opts.query_cache_capacity,

@@ -25,6 +25,15 @@ a CI gate plus a human trend table:
     named column must stay >= VALUE in every row. This is the CI gate for
     ratio metrics ("publish_cost:speedup=1.0" pins "COW publish beats the
     deep copy it replaced" at any scale).
+  * --hard-row-ratio "TABLE:ROWA/ROWB:COLUMN>=VALUE" enforces a
+    scale-independent *relative* gate inside the fresh run alone: the
+    column's value in row ROWA divided by its value in row ROWB must be
+    >= VALUE. This is the CI gate for same-binary speedup claims
+    ("parallel_apply:sharded x4/sharded x1:records/s>=0.8" pins "the
+    parallel apply path is never meaningfully slower than serial") where
+    the absolute numbers depend on machine and scale but the ratio does
+    not. A missing table, row or column is a schema failure unless the
+    whole table was skipped under --allow-new-tables.
   * --allow-new-tables downgrades "whole table in the baseline but not in
     the fresh run" from a hard failure to a warn row, so the commit that
     introduces a table (baseline regenerated, older branches' binaries
@@ -99,6 +108,17 @@ def parse_hard_min(spec: str) -> "tuple[str, str, float]":
                          "(expected TABLE:COLUMN=VALUE)")
 
 
+def parse_hard_row_ratio(spec: str) -> "tuple[str, str, str, str, float]":
+    try:
+        target, value = spec.rsplit(">=", 1)
+        table, rows, column = target.split(":", 2)
+        row_a, row_b = rows.split("/")
+        return table, row_a, row_b, column, float(value)
+    except ValueError:
+        raise SystemExit(f"bench_diff: bad --hard-row-ratio {spec!r} "
+                         "(expected TABLE:ROWA/ROWB:COLUMN>=VALUE)")
+
+
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--baseline", required=True,
@@ -117,6 +137,11 @@ def main() -> int:
                         metavar="TABLE:COLUMN=VALUE",
                         help="scale-independent floor: the column must stay "
                         ">= VALUE in every row (repeatable)")
+    parser.add_argument("--hard-row-ratio", action="append", default=[],
+                        metavar="TABLE:ROWA/ROWB:COLUMN>=VALUE",
+                        help="relative gate inside the fresh run: the "
+                        "column's ROWA value divided by its ROWB value must "
+                        "be >= VALUE (repeatable; scale-independent)")
     parser.add_argument("--allow-new-tables", action="store_true",
                         help="a whole table present in the baseline but "
                         "absent from the fresh run warns instead of failing "
@@ -217,6 +242,46 @@ def main() -> int:
         if floor_hits[i] == 0 and ftable not in skipped_tables:
             fail(f"--hard-min {ftable}:{fcolumn}={floor} matched no metric "
                  "(typo in table/column name?)")
+
+    # Row-ratio gates judge the fresh run alone: the two rows come from one
+    # binary on one machine, so their ratio is comparable at any scale.
+    for spec in args.hard_row_ratio:
+        table, row_a, row_b, column, ratio_min = parse_hard_row_ratio(spec)
+        if table in skipped_tables:
+            rows_out.append((f"{table}:{row_a}/{row_b}:{column}",
+                             "(table skipped)", "-", "-", "warn"))
+            continue
+        fresh = fresh_tables.get(table)
+        if fresh is None:
+            fail(f"--hard-row-ratio table {table!r} missing from fresh run")
+        if column not in fresh["columns"]:
+            fail(f"--hard-row-ratio column {column!r} missing from "
+                 f"table {table!r}")
+        c = fresh["columns"].index(column)
+        values = {}
+        for label in (row_a, row_b):
+            matches = [row for row in fresh["rows"] if row[0] == label]
+            if not matches:
+                fail(f"--hard-row-ratio row {label!r} missing from "
+                     f"table {table!r}")
+            val = parse_cell(matches[0][c])
+            if val is None:
+                fail(f"--hard-row-ratio metric {table}:{label}:{column} "
+                     f"is not numeric ({matches[0][c]!r})")
+            values[label] = val
+        if values[row_b] == 0:
+            fail(f"--hard-row-ratio denominator {table}:{row_b}:{column} "
+                 "is zero")
+        ratio = values[row_a] / values[row_b]
+        metric = f"{table}:{row_a}/{row_b}:{column}"
+        if ratio < ratio_min:
+            hard_failures.append(
+                f"{metric} = {ratio:.3f} below required ratio {ratio_min}")
+            rows_out.append((metric, f">={ratio_min}", f"{ratio:.3f}", "-",
+                             "FAIL"))
+        else:
+            rows_out.append((metric, f">={ratio_min}", f"{ratio:.3f}", "-",
+                             "ok"))
 
     width = max((len(m) for m, *_ in rows_out), default=10)
     print(f"{'metric':<{width}}  {'baseline':>12}  {'fresh':>12}  "

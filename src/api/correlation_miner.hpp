@@ -37,7 +37,10 @@ namespace farmer {
 ///     `cache_hits` and `cache_misses` are explicitly zero and
 ///     `shard_epochs` is empty — state is always current, nothing is ever
 ///     queued, no query cache exists. Zero here *means* "not applicable",
-///     by contract (MinerStatsContract tests pin this down).
+///     by contract (MinerStatsContract tests pin this down). The batch-apply
+///     counters (`apply_batches`, `apply_parallel_records`) are owned by the
+///     sharded apply path: "sharded" fills them, single-shard backends
+///     (farmer, nexus) keep them at zero.
 ///   * Asynchronous backends (concurrent): `requests`/`pairs_*` count
 ///     *published* records (enqueued-but-unpublished records appear in
 ///     `pending` instead), `epoch` is the global publish round,
@@ -82,6 +85,15 @@ struct MinerStats {
                                    ///< backends with the cache enabled)
   std::uint64_t cache_misses = 0;  ///< lookups that had to re-merge: cold,
                                    ///< evicted, or epoch-stale entries
+  std::uint64_t apply_batches = 0;  ///< observe_batch spans the sharded
+                                    ///< apply path partitioned (sharded
+                                    ///< backend live; concurrent as of the
+                                    ///< published table; 0 = per-record
+                                    ///< ingest only)
+  std::uint64_t apply_parallel_records = 0;  ///< records applied through the
+                                    ///< shard-disjoint worker pool (> 1
+                                    ///< apply thread; 0 = every batch was
+                                    ///< applied serially)
   /// Per-shard publish counts (async backends; empty = synchronous). A
   /// shard's entry advances exactly when an apply round touched it, which
   /// is the invalidation signal the Correlator-List cache validates

@@ -74,7 +74,8 @@ Registry& registry() {
                              std::shared_ptr<const TraceDictionary> dict,
                              const MinerOptions& opts)
         -> std::unique_ptr<CorrelationMiner> {
-      auto miner = std::make_unique<ShardedFarmer>(cfg, dict, opts.shards);
+      auto miner = std::make_unique<ShardedFarmer>(cfg, dict, opts.shards,
+                                                   opts.apply_threads);
       if (opts.persist_dir.empty()) return miner;
       std::vector<Farmer*> view;
       view.reserve(miner->shard_count());
@@ -133,7 +134,8 @@ Registry& registry() {
                                                 opts.query_cache_capacity,
                                                 opts.publish_interval_records,
                                                 opts.publish_max_delay_ms,
-                                                std::move(persister));
+                                                std::move(persister),
+                                                opts.apply_threads);
     };
     built_in["cluster"] = [](const FarmerConfig& cfg,
                              std::shared_ptr<const TraceDictionary> dict,

@@ -34,6 +34,14 @@ struct MinerOptions {
   /// ingest threads expected to call observe() concurrently (threads hash
   /// onto slots, so more threads than slots merely share queues).
   std::size_t ingest_threads = 4;
+  /// Worker lanes for the shard-disjoint parallel apply behind
+  /// observe_batch() on "sharded" — and on "concurrent", whose drain hands
+  /// every collected batch to its inner sharded miner. 0 = auto (hardware
+  /// parallelism), 1 = serial apply; more lanes than shards are capped at
+  /// the shard count. Every setting produces byte-identical models: shard
+  /// slices preserve per-shard record order and shards share no mutable
+  /// state. Env: FARMER_APPLY_THREADS.
+  std::size_t apply_threads = 0;
   /// Backpressure bound for the "concurrent" backend: producers soft-block
   /// once this many records are queued but unapplied. 0 = backend default.
   std::size_t max_pending = 0;

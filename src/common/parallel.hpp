@@ -7,8 +7,12 @@
 // back to a plain loop otherwise, so the build never requires OpenMP.
 #pragma once
 
+#include <atomic>
+#include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <functional>
+#include <mutex>
 #include <thread>
 #include <vector>
 
@@ -63,5 +67,121 @@ template <typename T, typename Body>
   parallel_for(n, [&](std::size_t i) { out[i] = body(i); });
   return out;
 }
+
+/// A persistent worker pool for repeated small fan-outs (the sharded apply
+/// path runs one per ingested batch, where parallel_for's per-call thread
+/// spawn would dominate the work). `run(n, body)` executes body(i) for every
+/// i in [0, n) and returns only after the last item finished; the calling
+/// thread participates, so a pool built with `threads` executes with exactly
+/// `threads` lanes. Work is claimed item-by-item from a shared atomic
+/// counter (dynamic scheduling — shard slices are skewed by routing).
+///
+/// Thread-safety: run() is *not* reentrant — one job at a time, issued from
+/// one thread (the drain/apply thread in every shipped consumer). The
+/// workers are plain std::thread + mutex/condvar, so TSan instruments the
+/// pool directly (unlike the OpenMP path of parallel_for).
+class WorkerPool {
+ public:
+  /// Spawns `threads - 1` helper threads (the caller is the last lane).
+  /// `threads <= 1` spawns nothing and run() degrades to the serial loop.
+  explicit WorkerPool(std::size_t threads) {
+    const std::size_t helpers = threads > 1 ? threads - 1 : 0;
+    threads_.reserve(helpers);
+    for (std::size_t i = 0; i < helpers; ++i)
+      threads_.emplace_back([this] { worker_loop(); });
+  }
+
+  ~WorkerPool() {
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      stop_ = true;
+    }
+    cv_work_.notify_all();
+    for (auto& t : threads_) t.join();
+  }
+
+  WorkerPool(const WorkerPool&) = delete;
+  WorkerPool& operator=(const WorkerPool&) = delete;
+
+  /// Lanes this pool executes with (helpers + the calling thread).
+  [[nodiscard]] std::size_t thread_count() const noexcept {
+    return threads_.size() + 1;
+  }
+
+  /// Runs body(i) for i in [0, n); returns after every item completed.
+  /// `body` must be safe to run concurrently for distinct i and must not
+  /// throw (an escaping exception would strand the completion count).
+  template <typename Body>
+  void run(std::size_t n, Body&& body) {
+    if (n == 0) return;
+    if (threads_.empty() || n == 1) {
+      for (std::size_t i = 0; i < n; ++i) body(i);
+      return;
+    }
+    std::function<void(std::size_t)> fn =
+        [&body](std::size_t i) { body(i); };
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      body_ = &fn;
+      n_ = n;
+      completed_ = 0;
+      next_.store(0, std::memory_order_relaxed);
+      ++generation_;
+    }
+    cv_work_.notify_all();
+    const std::size_t did = participate(fn, n);
+    std::unique_lock<std::mutex> lk(mu_);
+    completed_ += did;
+    cv_done_.wait(lk, [&] { return completed_ == n_; });
+    body_ = nullptr;  // helpers that executed items have already re-locked
+  }
+
+ private:
+  /// Claims items off the shared counter until the job is exhausted.
+  std::size_t participate(const std::function<void(std::size_t)>& fn,
+                          std::size_t n) {
+    std::size_t did = 0;
+    for (std::size_t i = next_.fetch_add(1, std::memory_order_relaxed);
+         i < n; i = next_.fetch_add(1, std::memory_order_relaxed)) {
+      fn(i);
+      ++did;
+    }
+    return did;
+  }
+
+  void worker_loop() {
+    std::uint64_t seen = 0;
+    std::unique_lock<std::mutex> lk(mu_);
+    for (;;) {
+      cv_work_.wait(lk, [&] { return stop_ || generation_ != seen; });
+      if (stop_) return;
+      seen = generation_;
+      const std::function<void(std::size_t)>* fn = body_;
+      const std::size_t n = n_;
+      // A slow wake can miss a job entirely: the other lanes drained it and
+      // run() already retired the body. Nothing left to claim.
+      if (fn == nullptr) continue;
+      lk.unlock();
+      const std::size_t did = participate(*fn, n);
+      lk.lock();
+      // run() cannot return (and retire `fn`) before every executed item
+      // has been counted here, so the dereference above never goes stale.
+      completed_ += did;
+      if (completed_ == n_) cv_done_.notify_all();
+    }
+  }
+
+  std::vector<std::thread> threads_;
+  std::mutex mu_;
+  std::condition_variable cv_work_;
+  std::condition_variable cv_done_;
+  // Job slot, guarded by mu_ except for the lock-free item counter.
+  const std::function<void(std::size_t)>* body_ = nullptr;
+  std::size_t n_ = 0;
+  std::size_t completed_ = 0;
+  std::uint64_t generation_ = 0;
+  bool stop_ = false;
+  std::atomic<std::size_t> next_{0};
+};
 
 }  // namespace farmer

@@ -19,10 +19,12 @@ ConcurrentFarmer::ConcurrentFarmer(FarmerConfig cfg,
                                    std::size_t query_cache_capacity,
                                    std::size_t publish_interval_records,
                                    std::size_t publish_max_delay_ms,
-                                   std::unique_ptr<persist::Persister> persister)
+                                   std::unique_ptr<persist::Persister> persister,
+                                   std::size_t apply_threads)
     : cfg_(cfg),
       dict_(std::move(dict)),
-      inner_(std::make_unique<ShardedFarmer>(cfg_, dict_, shards)),
+      inner_(std::make_unique<ShardedFarmer>(cfg_, dict_, shards,
+                                             apply_threads)),
       correlator_capacity_(cfg_.correlator_capacity),
       max_pending_(max_pending == 0 ? kDefaultMaxPending : max_pending),
       publish_interval_(publish_interval_records),
@@ -298,7 +300,11 @@ void ConcurrentFarmer::apply(const Batch& batch) {
   if (persister_) persister_->append(std::span<const TraceRecord>(batch));
   // The drain owns inner_ exclusively: no lock is needed to mutate it, and
   // readers only ever see the immutable table published by
-  // publish_pending().
+  // publish_pending(). observe_batch is the shard-disjoint parallel apply:
+  // with apply_threads > 1 the drain thread becomes one lane of the inner
+  // miner's worker pool and the batch is applied shard-concurrently —
+  // byte-identical to the old serial replay because per-shard record order
+  // is preserved and shards share no mutable state.
   inner_->observe_batch(batch);
   for (const TraceRecord& r : batch)
     touched_since_publish_[inner_->shard_of(r)] = 1;

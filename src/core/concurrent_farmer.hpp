@@ -104,6 +104,13 @@ class ConcurrentFarmer final : public CorrelationMiner {
   /// ingest never stops for a checkpoint. Records still queued but not yet
   /// drained at a crash are lost; the durable prefix is always a prefix of
   /// the applied history.
+  ///
+  /// `apply_threads` sizes the inner ShardedFarmer's parallel apply: each
+  /// batch the drain collects is partitioned into shard-disjoint slices and
+  /// applied on that many lanes (0 = auto, 1 = serial). The drain thread is
+  /// one of the lanes, so the single extra thread this backend used to pay
+  /// per record stream becomes apply_threads-wide without changing what the
+  /// published tables contain (shard slices preserve per-shard order).
   ConcurrentFarmer(FarmerConfig cfg,
                    std::shared_ptr<const TraceDictionary> dict,
                    std::size_t shards, std::size_t ingest_queues,
@@ -111,7 +118,8 @@ class ConcurrentFarmer final : public CorrelationMiner {
                    std::size_t query_cache_capacity = 0,
                    std::size_t publish_interval_records = 0,
                    std::size_t publish_max_delay_ms = 0,
-                   std::unique_ptr<persist::Persister> persister = nullptr);
+                   std::unique_ptr<persist::Persister> persister = nullptr,
+                   std::size_t apply_threads = 0);
   ~ConcurrentFarmer() override;
 
   ConcurrentFarmer(const ConcurrentFarmer&) = delete;

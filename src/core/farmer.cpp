@@ -61,15 +61,54 @@ void Farmer::observe_batch(std::span<const TraceRecord> records) {
   for (const TraceRecord& r : records) observe_impl(r);
 }
 
+namespace {
+
+/// Two extracted contexts are interchangeable when every token matches —
+/// the signature built from them is bit-identical, so rebuilding it would
+/// only reproduce the stored one.
+bool same_context(const SemanticVector& a, const SemanticVector& b) noexcept {
+  if (a.user != b.user || a.process != b.process || a.host != b.host ||
+      a.dev != b.dev || a.fid != b.fid ||
+      a.path_components.size() != b.path_components.size())
+    return false;
+  for (std::size_t i = 0; i < a.path_components.size(); ++i)
+    if (a.path_components[i] != b.path_components[i]) return false;
+  return true;
+}
+
+/// The Correlator-List order: degree descending, FileId ascending on ties.
+/// Over unique FileIds this is a strict total order, so the sorted
+/// permutation is unique — any correct sort produces the same bytes.
+bool correlator_before(const Correlator& a, const Correlator& b) noexcept {
+  if (a.degree != b.degree) return a.degree > b.degree;
+  return a.file < b.file;
+}
+
+}  // namespace
+
 void Farmer::observe_impl(const TraceRecord& rec) {
   const FileId file = rec.file;
 
   // Stage 1 — Extracting. The stored vector/signature always reflect the
   // most recent request context of the file. mutate() is the COW write
-  // gate: the file's block is cloned here iff a snapshot still shares it.
+  // gate: the file's block is cloned here iff a snapshot still shares it
+  // (always taken, so the clone accounting is independent of the
+  // memoization below). Extraction lands in a reusable scratch vector;
+  // when the context tokens are unchanged since the file's last access —
+  // the common case for a file hammered by one process — the stored
+  // signature is already exactly what build_signature would produce, so
+  // the gather-and-sort is skipped. A fresh block must always build: its
+  // default-constructed vector could coincidentally equal the extraction
+  // (all-invalid tokens under an empty dictionary) while its default
+  // signature does not match.
+  const bool fresh =
+      state_.find(static_cast<std::size_t>(file.value())) == nullptr;
   FileState& st = state_.mutate(static_cast<std::size_t>(file.value()));
-  extractor_.extract(rec, st.vec);
-  st.sig = build_signature(st.vec, cfg_.attributes, cfg_.path_mode);
+  extractor_.extract(rec, scratch_vec_);
+  if (fresh || !same_context(scratch_vec_, st.vec)) {
+    st.vec = scratch_vec_;
+    st.sig = build_signature(st.vec, cfg_.attributes, cfg_.path_mode);
+  }
 
   // Stage 2 — Constructing: N_file and LDA-weighted N_{pred,file} updates.
   graph_.record_access(file);
@@ -82,29 +121,46 @@ void Farmer::observe_impl(const TraceRecord& rec) {
   // again — so stable context matches survive across sessions while
   // one-shot successors (fresh checkpoint files and the like) decay with
   // 1/N and eventually fall below the validity threshold.
+  //
+  // N_file, the N/(N-1) rescale and the frequency weight are invariant
+  // across the loop, and the successor set is fetched once — the per-entry
+  // work is one edge scan and a handful of flops.
   auto& list = graph_.correlators(file);
-  for (std::size_t i = list.size(); i-- > 0;) {
-    const FileId succ = list[i].file;
-    const double freq = graph_.access_frequency(file, succ);
-    // Recover the semantic part from the stored degree under the *previous*
-    // N (freq scaled by N/(N-1)); algebraically equivalent to caching sim.
-    const double prev_freq =
-        freq * static_cast<double>(graph_.access_count(file)) /
-        std::max<double>(1.0,
-                         static_cast<double>(graph_.access_count(file)) - 1.0);
-    const double sem =
-        static_cast<double>(list[i].degree) - (1.0 - cfg_.p) * prev_freq;
-    const double degree = sem + (1.0 - cfg_.p) * freq;
-    if (degree < cfg_.max_strength)
-      graph_.remove_correlator(file, succ);
-    else
-      list[i].degree = static_cast<float>(degree);
+  if (!list.empty()) {
+    const auto& succs = graph_.successors(file);
+    const double n = static_cast<double>(graph_.access_count(file));
+    const double rescale = n / std::max(1.0, n - 1.0);
+    const double freq_w = 1.0 - cfg_.p;
+    for (std::size_t i = list.size(); i-- > 0;) {
+      const FileId succ = list[i].file;
+      const double freq = CorrelationGraph::edge_weight_in(succs, succ) / n;
+      // Recover the semantic part from the stored degree under the
+      // *previous* N (freq scaled by N/(N-1)); algebraically equivalent to
+      // caching sim.
+      const double prev_freq = freq * rescale;
+      const double sem = static_cast<double>(list[i].degree) - freq_w * prev_freq;
+      const double degree = sem + freq_w * freq;
+      if (degree < cfg_.max_strength)
+        graph_.remove_correlator(file, succ);
+      else
+        list[i].degree = static_cast<float>(degree);
+    }
+    // Order repair instead of a full std::sort: the uniform 1/N rescale
+    // mostly preserves relative order, so the list is nearly sorted and the
+    // insertion pass is O(k) in the common case. The comparator is a strict
+    // total order over unique FileIds (degree desc, FileId asc), so the
+    // repaired order is the unique sorted permutation — identical bytes to
+    // what std::sort produced.
+    for (std::size_t i = 1; i < list.size(); ++i) {
+      const Correlator key = list[i];
+      std::size_t j = i;
+      while (j > 0 && correlator_before(key, list[j - 1])) {
+        list[j] = list[j - 1];
+        --j;
+      }
+      list[j] = key;
+    }
   }
-  std::sort(list.begin(), list.end(),
-            [](const Correlator& a, const Correlator& b) {
-              if (a.degree != b.degree) return a.degree > b.degree;
-              return a.file < b.file;
-            });
   window_.for_each_predecessor(file, [&](FileId pred, std::size_t distance) {
     const double w = AccessWindow::lda_weight(distance, cfg_.lda_delta);
     if (w <= 0.0) return;

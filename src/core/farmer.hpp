@@ -224,6 +224,12 @@ class Farmer : public CorrelationMiner {
   StateStore state_;
   std::uint64_t requests_ = 0;
 
+  /// Extraction scratch for observe_impl: reused across records so the
+  /// unchanged-context fast path allocates nothing. Transient — both copy
+  /// constructors deliberately leave it default-constructed (it carries no
+  /// model state and is rewritten before every use).
+  SemanticVector scratch_vec_;
+
   /// Memoized footprint_bytes(); kFootprintDirty = recompute. Atomic so
   /// concurrent readers of one immutable snapshot may race to fill it (they
   /// all compute the same value); the live side is single-writer by the

@@ -32,17 +32,32 @@
 
 namespace farmer {
 
+class WorkerPool;
+
 class ShardedFarmer final : public CorrelationMiner {
  public:
+  /// `apply_threads` sizes the persistent worker pool behind
+  /// observe_batch(): 0 = auto (hardware parallelism), 1 = serial apply, and
+  /// anything higher caps at the shard count (a shard slice is the unit of
+  /// parallelism). The pool only exists when the resolved count and the
+  /// shard count both exceed one.
   ShardedFarmer(FarmerConfig cfg, std::shared_ptr<const TraceDictionary> dict,
-                std::size_t shards);
+                std::size_t shards, std::size_t apply_threads = 0);
+  ~ShardedFarmer() override;
 
   /// Routes one request to its shard (serial ingest path).
   void observe(const TraceRecord& rec) override;
 
-  /// Ingests a batch: requests are partitioned per shard preserving each
-  /// stream's order, then shards run in parallel.
+  /// Ingests a batch: the span is partitioned into contiguous per-shard
+  /// slices preserving each stream's order, then the slices are applied
+  /// concurrently on the worker pool (serially without one). Shards share
+  /// no mutable state and per-shard record order is exactly the serial
+  /// routing order, so the result is byte-identical to per-record observe()
+  /// at every apply-thread count.
   void observe_batch(std::span<const TraceRecord> records) override;
+
+  /// Apply threads the batch path actually uses (1 = serial).
+  [[nodiscard]] std::size_t apply_thread_count() const noexcept;
 
   /// Merged Correlator List across shards, sorted by degree, deduplicated
   /// (highest degree wins), capped at the configured capacity.
@@ -222,6 +237,16 @@ class ShardedFarmer final : public CorrelationMiner {
  private:
   FarmerConfig cfg_;
   std::vector<std::unique_ptr<Farmer>> shards_;
+  /// Persistent apply workers (null = serial apply). Out-of-line dtor keeps
+  /// WorkerPool an incomplete type here.
+  std::unique_ptr<WorkerPool> pool_;
+  /// Reusable per-shard slice buffers for observe_batch — capacity survives
+  /// across batches so steady-state partitioning allocates nothing.
+  std::vector<std::vector<TraceRecord>> slices_;
+  /// Batch-apply counters surfaced through stats() (MinerStats contract:
+  /// apply_batches / apply_parallel_records).
+  std::uint64_t apply_batches_ = 0;
+  std::uint64_t apply_parallel_records_ = 0;
 };
 
 }  // namespace farmer

@@ -57,10 +57,7 @@ std::uint64_t CorrelationGraph::access_count(FileId f) const noexcept {
 
 double CorrelationGraph::edge_weight(FileId pred, FileId succ) const noexcept {
   const Node* n = find(pred);
-  if (!n) return 0.0;
-  for (const auto& e : n->successors)
-    if (e.successor == succ) return static_cast<double>(e.nab);
-  return 0.0;
+  return n ? edge_weight_in(n->successors, succ) : 0.0;
 }
 
 double CorrelationGraph::access_frequency(FileId pred,

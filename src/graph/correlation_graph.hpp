@@ -83,6 +83,17 @@ class CorrelationGraph {
   /// N_AB for the edge, 0 if absent.
   [[nodiscard]] double edge_weight(FileId pred, FileId succ) const noexcept;
 
+  /// N_AB looked up in an already-fetched successor set. The ingest kernel
+  /// refreshes every Correlator-List entry of one node per request; fetching
+  /// the node once and scanning its edges here removes the per-entry node
+  /// find that edge_weight()/access_frequency() would repeat.
+  [[nodiscard]] static double edge_weight_in(
+      const SmallVector<SuccessorEdge, 8>& succs, FileId succ) noexcept {
+    for (const auto& e : succs)
+      if (e.successor == succ) return static_cast<double>(e.nab);
+    return 0.0;
+  }
+
   /// F(A,B) = N_AB / N_A; 0 when N_A == 0.
   [[nodiscard]] double access_frequency(FileId pred,
                                         FileId succ) const noexcept;

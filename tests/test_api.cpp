@@ -9,6 +9,7 @@
 #include <memory>
 #include <span>
 #include <stdexcept>
+#include <string_view>
 #include <thread>
 #include <vector>
 
@@ -385,7 +386,39 @@ TEST(MinerStatsContract, SyncBackendsZeroAsyncOnlyFields) {
     EXPECT_TRUE(s.shard_epochs.empty()) << backend;
     // Leaf backends never report tenants; empty *means* "not a router".
     EXPECT_TRUE(s.per_tenant.empty()) << backend;
+    // Apply counters belong to the sharded batch-apply path alone:
+    // single-shard backends report them as explicit zeros.
+    if (std::string_view(backend) == "sharded") {
+      EXPECT_EQ(s.apply_batches, 1u) << backend;  // one observe_batch above
+    } else {
+      EXPECT_EQ(s.apply_batches, 0u) << backend;
+      EXPECT_EQ(s.apply_parallel_records, 0u) << backend;
+    }
   }
+}
+
+// The apply-counter side of the contract, pinned at deterministic
+// apply_threads settings (the default is "auto" = hardware parallelism,
+// which differs per machine): serial apply never counts parallel records,
+// multi-lane apply counts every record of every multi-shard batch.
+TEST(MinerStatsContract, ShardedApplyCountersFollowLaneCount) {
+  const MicroTrace mt = fixed_trace();
+  MinerOptions serial;
+  serial.shards = 4;
+  serial.apply_threads = 1;
+  const auto one = make_miner("sharded", FarmerConfig{}, mt.dict(), serial);
+  one->observe_batch(mt.records());
+  EXPECT_EQ(one->stats().apply_batches, 1u);
+  EXPECT_EQ(one->stats().apply_parallel_records, 0u);
+
+  MinerOptions lanes = serial;
+  lanes.apply_threads = 4;
+  const auto four = make_miner("sharded", FarmerConfig{}, mt.dict(), lanes);
+  four->observe_batch(mt.records());
+  four->observe_batch(mt.records());
+  EXPECT_EQ(four->stats().apply_batches, 2u);
+  EXPECT_EQ(four->stats().apply_parallel_records,
+            2u * mt.records().size());
 }
 
 // The router's side of the stats contract: scalar counters are the sums

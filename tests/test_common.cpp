@@ -440,6 +440,62 @@ TEST(Parallel, HardwareParallelismIsPositive) {
   EXPECT_GE(hardware_parallelism(), 1u);
 }
 
+// WorkerPool: the persistent-thread executor behind the shard-disjoint
+// parallel apply. These run in the TSan CI tier via the Parallel.* filter,
+// racing the generation handshake and the work-stealing index.
+TEST(Parallel, WorkerPoolCoversAllIndicesExactlyOnce) {
+  WorkerPool pool(4);
+  EXPECT_EQ(pool.thread_count(), 4u);
+  std::vector<std::atomic<int>> hits(257);
+  pool.run(hits.size(), [&](std::size_t i) { hits[i].fetch_add(1); });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(Parallel, WorkerPoolIsReusableAcrossManyDispatches) {
+  // Many small jobs through one pool: each run() is a fresh generation, so
+  // a stale helper that double-claimed or missed a job would corrupt the
+  // per-round sums with high probability.
+  WorkerPool pool(3);
+  for (int round = 0; round < 200; ++round) {
+    std::atomic<int> sum{0};
+    pool.run(7, [&](std::size_t i) {
+      sum.fetch_add(static_cast<int>(i) + 1);
+    });
+    ASSERT_EQ(sum.load(), 28) << "round " << round;
+  }
+}
+
+TEST(Parallel, WorkerPoolZeroAndSingleItemShortCircuit) {
+  WorkerPool pool(2);
+  int calls = 0;
+  pool.run(0, [&](std::size_t) { ++calls; });
+  EXPECT_EQ(calls, 0);
+  // n == 1 runs inline on the caller: no handshake, body sees index 0.
+  pool.run(1, [&](std::size_t i) {
+    ++calls;
+    EXPECT_EQ(i, 0u);
+  });
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(Parallel, WorkerPoolSingleThreadDegradesToSerialLoop) {
+  // threads == 1 spawns no helpers; run() must still execute every index,
+  // in order, on the caller.
+  WorkerPool pool(1);
+  EXPECT_EQ(pool.thread_count(), 1u);
+  std::vector<std::size_t> order;
+  pool.run(5, [&](std::size_t i) { order.push_back(i); });
+  ASSERT_EQ(order.size(), 5u);
+  for (std::size_t i = 0; i < order.size(); ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(Parallel, WorkerPoolMoreItemsThanThreads) {
+  WorkerPool pool(2);
+  std::vector<std::atomic<int>> hits(1000);
+  pool.run(hits.size(), [&](std::size_t i) { hits[i].fetch_add(1); });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
 // ------------------------------------------------------------ MpscQueue --
 
 TEST(MpscQueue, FifoForSingleProducer) {
