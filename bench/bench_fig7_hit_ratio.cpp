@@ -22,12 +22,14 @@ int main() {
     const Trace& trace = paper_trace(kind);
     const ReplayConfig rc = replay_config(trace);
 
-    auto fpa = make_fpa(trace);
-    NexusPredictor nexus;
-    NoopPredictor lru;
-    const double h_fpa = replay_trace(trace, fpa, rc).hit_ratio();
-    const double h_nexus = replay_trace(trace, nexus, rc).hit_ratio();
-    const double h_lru = replay_trace(trace, lru, rc).hit_ratio();
+    // All three contenders come from the PredictorFactory; "fpa" mines on
+    // the environment-selected backend like every other bench.
+    const auto fpa = make_bench_predictor(trace, "fpa");
+    const auto nexus = make_bench_predictor(trace, "nexus");
+    const auto lru = make_bench_predictor(trace, "none");
+    const double h_fpa = replay_trace(trace, *fpa, rc).hit_ratio();
+    const double h_nexus = replay_trace(trace, *nexus, rc).hit_ratio();
+    const double h_lru = replay_trace(trace, *lru, rc).hit_ratio();
 
     table.add_row({trace_kind_name(kind), pct(h_fpa), pct(h_nexus),
                    pct(h_lru), pct(h_fpa - h_nexus), pct(h_fpa - h_lru)});

@@ -27,13 +27,14 @@ int main() {
     cc.mds.prefetch_degree = kDefaultPrefetchDegree;
     cc.mds.disk_servers = 2;  // MDS with BDB page cache + two spindles
 
-    auto run = [&](std::unique_ptr<Predictor> p) {
+    // Factory-built contenders ("fpa" mines on the env-selected backend).
+    auto run = [&](std::string_view predictor) {
+      const auto p = make_bench_predictor(trace, predictor);
       return run_cluster(trace, *p, cc).mean_response_ms();
     };
-    const double fpa =
-        run(std::make_unique<FpaPredictor>(make_fpa(trace)));
-    const double nexus = run(std::make_unique<NexusPredictor>());
-    const double lru = run(std::make_unique<NoopPredictor>());
+    const double fpa = run("fpa");
+    const double nexus = run("nexus");
+    const double lru = run("none");
 
     table.add_row({trace_kind_name(kind), fmt_double(fpa, 3),
                    fmt_double(nexus, 3), fmt_double(lru, 3),

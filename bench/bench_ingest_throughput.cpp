@@ -470,9 +470,7 @@ int main(int argc, char** argv) {
   }
 
   // ---------------------------------------------------- publish-cost scan --
-  std::size_t publish_files = 100000;
-  env_size_into("FARMER_BENCH_FILES", publish_files,
-                /*max_value=*/1u << 24);
+  const std::size_t publish_files = runtime().bench_files;
   if (!json)
     std::cout << "\nPer-publish cost, COW share vs whole-shard deep copy ("
               << publish_files << "-file shard, Zipf(1.2) dirty set, "

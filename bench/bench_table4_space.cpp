@@ -38,7 +38,7 @@ int main() {
   }
   table.print(std::cout);
   std::cout << "\nNote: absolute sizes scale with the synthetic trace "
-               "volume (" << fmt_double(bench::kScale, 2)
+               "volume (" << fmt_double(bench::bench_scale(), 2)
             << "x of the generator's full size); the ordering and the "
                "bytes-per-file density are the reproducible shape.\n";
   return 0;

@@ -4,7 +4,6 @@
 // are comparable across binaries. Traces are cached per process.
 #pragma once
 
-#include <cerrno>
 #include <chrono>
 #include <cstdlib>
 #include <iostream>
@@ -18,6 +17,8 @@
 #include "analysis/experiment.hpp"
 #include "analysis/table.hpp"
 #include "api/miner_factory.hpp"
+#include "api/predictor_factory.hpp"
+#include "api/runtime_config.hpp"
 #include "core/config.hpp"
 #include "prefetch/fpa.hpp"
 #include "prefetch/nexus.hpp"
@@ -26,36 +27,21 @@
 
 namespace farmer::bench {
 
+/// The process's FARMER_* environment, parsed once through the public
+/// RuntimeConfig loader (api/runtime_config.hpp) — the benches own no env
+/// parsing of their own. A malformed variable prints its ConfigError
+/// diagnostic and exits 2 (the classic bench contract: a typo never
+/// silently benchmarks the default).
+inline const RuntimeConfig& runtime() {
+  static const RuntimeConfig rc = RuntimeConfig::from_env_or_exit();
+  return rc;
+}
+
 /// Experiment scale: fraction of the full synthetic volume. Chosen so the
 /// whole bench suite completes in minutes on a laptop while keeping every
 /// trace large enough for stable ratios. FARMER_BENCH_SCALE overrides it
 /// (the CI bench-smoke job runs the suite at a tiny scale).
-inline constexpr double kScale = 0.25;
-
-/// Parses a positive double env var into `out`; exits on garbage so a typo
-/// never silently benchmarks the default.
-inline void env_fraction_into(const char* var, double& out) {
-  const char* s = std::getenv(var);
-  if (!s || !*s) return;
-  char* end = nullptr;
-  errno = 0;
-  const double v = std::strtod(s, &end);
-  if (end == s || *end != '\0' || errno == ERANGE || !(v > 0.0) || v > 1.0) {
-    std::cerr << "invalid " << var << " \"" << s
-              << "\": expected a fraction in (0, 1]\n";
-    std::exit(2);
-  }
-  out = v;
-}
-
-inline double bench_scale() {
-  static const double scale = [] {
-    double s = kScale;
-    env_fraction_into("FARMER_BENCH_SCALE", s);
-    return s;
-  }();
-  return scale;
-}
+inline double bench_scale() { return runtime().bench_scale; }
 
 inline const Trace& paper_trace(TraceKind kind) {
   static std::map<TraceKind, Trace> cache;
@@ -121,29 +107,9 @@ inline FarmerConfig fpa_config(const Trace& trace) {
 ///   FARMER_CLUSTER_PIPELINE=<n> (default backend = 64, un-acked requests
 ///                                in flight per shard channel)
 /// so ablations over the backend are a flag, not a recompile. The README's
-/// configuration table is the authoritative reference for these knobs.
-inline const char* miner_backend() {
-  const char* b = std::getenv("FARMER_MINER");
-  return (b && *b) ? b : "farmer";
-}
-
-/// Parses a positive integer env var into `out`; exits on garbage so a typo
-/// never silently benchmarks the default.
-inline void env_size_into(const char* var, std::size_t& out,
-                          unsigned long max_value = 4096) {
-  const char* s = std::getenv(var);
-  if (!s || !*s) return;
-  char* end = nullptr;
-  errno = 0;
-  const unsigned long n = std::strtoul(s, &end, 10);
-  if (end == s || *end != '\0' || n == 0 || errno == ERANGE ||
-      n > max_value) {
-    std::cerr << "invalid " << var << " \"" << s
-              << "\": expected an integer in [1, " << max_value << "]\n";
-    std::exit(2);
-  }
-  out = static_cast<std::size_t>(n);
-}
+/// configuration table is the authoritative reference for these knobs;
+/// parsing lives in RuntimeConfig.
+inline const std::string& miner_backend() { return runtime().miner_backend; }
 
 /// Disk-replay controls for bench_ingest_throughput's disk_replay table
 /// (the out-of-core generate→merge→replay pipeline):
@@ -158,60 +124,11 @@ inline void env_size_into(const char* var, std::size_t& out,
 ///                              record volume scales linearly, generator
 ///                              memory does not — raise this to build
 ///                              multi-GB traces)
-inline std::string trace_dir() {
-  const char* d = std::getenv("FARMER_TRACE_DIR");
-  return (d && *d) ? d : "";
-}
+inline const std::string& trace_dir() { return runtime().trace_dir; }
+inline std::size_t trace_tenants() { return runtime().trace_tenants; }
+inline std::size_t trace_rounds() { return runtime().trace_rounds; }
 
-inline std::size_t trace_tenants() {
-  std::size_t n = 2;
-  env_size_into("FARMER_TRACE_TENANTS", n, /*max_value=*/4);
-  return n;
-}
-
-inline std::size_t trace_rounds() {
-  std::size_t n = 1;
-  env_size_into("FARMER_TRACE_ROUNDS", n, /*max_value=*/1u << 20);
-  return n;
-}
-
-inline MinerOptions miner_options() {
-  MinerOptions opts;
-  env_size_into("FARMER_SHARDS", opts.shards);
-  env_size_into("FARMER_INGEST_THREADS", opts.ingest_threads);
-  env_size_into("FARMER_APPLY_THREADS", opts.apply_threads);
-  // Capacity knobs get a generous ceiling; 0 stays "disabled"/"default"
-  // (env_size_into rejects 0, matching the defaults already meaning that).
-  env_size_into("FARMER_QUERY_CACHE", opts.query_cache_capacity,
-                /*max_value=*/1u << 24);
-  env_size_into("FARMER_MAX_PENDING", opts.max_pending,
-                /*max_value=*/1u << 30);
-  env_size_into("FARMER_PUBLISH_INTERVAL", opts.publish_interval_records,
-                /*max_value=*/1u << 30);
-  env_size_into("FARMER_PUBLISH_MAX_DELAY_MS", opts.publish_max_delay_ms,
-                /*max_value=*/60000);
-  env_size_into("FARMER_ROUTER_TENANTS", opts.router_tenants,
-                /*max_value=*/1024);
-  if (const char* spec = std::getenv("FARMER_ROUTER_BACKENDS"); spec && *spec)
-    opts.router_backends = spec;
-  if (const char* dir = std::getenv("FARMER_PERSIST_DIR"); dir && *dir)
-    opts.persist_dir = dir;
-  env_size_into("FARMER_CHECKPOINT_INTERVAL", opts.checkpoint_interval_records,
-                /*max_value=*/1u << 30);
-  env_size_into("FARMER_WAL_GROUP_COMMIT", opts.wal_group_commit,
-                /*max_value=*/1u << 30);
-  env_size_into("FARMER_CLUSTER_SHARDS", opts.cluster_shards,
-                /*max_value=*/1024);
-  if (const char* tp = std::getenv("FARMER_CLUSTER_TRANSPORT"); tp && *tp)
-    opts.cluster_transport = tp;
-  env_size_into("FARMER_CLUSTER_TIMEOUT_MS", opts.cluster_timeout_ms,
-                /*max_value=*/600000);
-  env_size_into("FARMER_CLUSTER_RETRIES", opts.cluster_retries,
-                /*max_value=*/100);
-  env_size_into("FARMER_CLUSTER_PIPELINE", opts.cluster_pipeline,
-                /*max_value=*/1u << 20);
-  return opts;
-}
+inline const MinerOptions& miner_options() { return runtime().miner; }
 
 /// True when argv carries `--json`: the bench emits one machine-readable
 /// JSON document on stdout (scripts/bench_to_json.py normalizes and
@@ -267,6 +184,25 @@ inline FpaPredictor make_fpa(const Trace& trace, const FarmerConfig& cfg) {
 }
 inline FpaPredictor make_fpa(const Trace& trace) {
   return make_fpa(trace, fpa_config(trace));
+}
+
+/// Predictor for `name` through the PredictorFactory, carrying the
+/// environment's miner selection (FARMER_MINER and friends) behind "fpa".
+/// Empty `name` = the environment's FARMER_PREDICTOR. Mirrors
+/// make_bench_miner's per-trace persistence layout and exit-on-error
+/// contract.
+inline std::unique_ptr<Predictor> make_bench_predictor(
+    const Trace& trace, std::string_view name = {}) {
+  if (name.empty()) name = runtime().predictor;
+  PredictorOptions opts = runtime().predictor_options;
+  if (!opts.miner.persist_dir.empty() && !trace.name.empty())
+    opts.miner.persist_dir += "/" + trace.name;
+  try {
+    return make_predictor(name, fpa_config(trace), trace.dict, opts);
+  } catch (const std::invalid_argument& e) {
+    std::cerr << e.what() << "\n";
+    std::exit(2);
+  }
 }
 
 /// Partitions a trace's records across `producers` ingest streams by

@@ -1,8 +1,13 @@
-// Metadata-server prefetching shoot-out: FPA vs the full baseline zoo on a
+// Metadata-server prefetching shoot-out: every registered predictor on a
 // chosen paper trace, reporting hit ratio, prefetch accuracy, pollution and
 // DES response time.
 //
 //   ./metadata_prefetching [LLNL|INS|RES|HP] [scale]
+//
+// The contender list comes from the PredictorFactory registry
+// (api/predictor_factory.hpp), so a newly registered predictor shows up
+// here — and in CI's smoke loop — without touching this file. FARMER_MINER
+// and friends select the mining backend behind "fpa" as usual.
 #include <cstdlib>
 #include <iostream>
 #include <memory>
@@ -10,13 +15,9 @@
 
 #include "analysis/experiment.hpp"
 #include "analysis/table.hpp"
-#include "api/miner_factory.hpp"
-#include "prefetch/fpa.hpp"
-#include "prefetch/nexus.hpp"
-#include "prefetch/probability_graph.hpp"
+#include "api/predictor_factory.hpp"
+#include "api/runtime_config.hpp"
 #include "prefetch/replay.hpp"
-#include "prefetch/sd_graph.hpp"
-#include "prefetch/successor.hpp"
 #include "storage/cluster.hpp"
 #include "trace/generator.hpp"
 
@@ -37,6 +38,7 @@ int main(int argc, char** argv) {
   const TraceKind kind = parse_kind(argc > 1 ? argv[1] : "HP");
   const double scale = argc > 2 ? std::strtod(argv[2], nullptr) : 0.25;
 
+  const RuntimeConfig env = RuntimeConfig::from_env_or_exit();
   const Trace trace = make_paper_trace(kind, kExperimentSeed, scale);
   const std::size_t capacity = default_cache_capacity(trace);
   std::cout << "trace " << trace_kind_name(kind) << ": "
@@ -46,31 +48,10 @@ int main(int argc, char** argv) {
   FarmerConfig fpa_cfg;
   fpa_cfg.attributes = trace.has_paths ? AttributeMask::all_with_path()
                                        : AttributeMask::all_with_fileid();
-
-  // The contenders. FPA and the paper's baselines plus the wider zoo.
-  struct Entry {
-    std::string name;
-    std::unique_ptr<Predictor> predictor;
+  const auto build = [&](const std::string& name) {
+    return make_predictor(name, fpa_cfg, trace.dict,
+                          env.predictor_options);
   };
-  std::vector<Entry> entries;
-  entries.push_back({"FPA", std::make_unique<FpaPredictor>(make_miner(
-                                "farmer", fpa_cfg, trace.dict))});
-  entries.push_back({"Nexus", std::make_unique<NexusPredictor>()});
-  entries.push_back({"ProbGraph",
-                     std::make_unique<ProbabilityGraphPredictor>()});
-  entries.push_back({"SDGraph", std::make_unique<SdGraphPredictor>()});
-  entries.push_back({"LS", std::make_unique<LastSuccessorPredictor>()});
-  entries.push_back({"FS", std::make_unique<FirstSuccessorPredictor>()});
-  entries.push_back(
-      {"RecentPop", std::make_unique<RecentPopularityPredictor>()});
-  entries.push_back({"PBS",
-                     std::make_unique<ContextualLastSuccessorPredictor>(
-                         ContextualLastSuccessorPredictor::Mode::kProgram)});
-  entries.push_back(
-      {"PULS", std::make_unique<ContextualLastSuccessorPredictor>(
-                   ContextualLastSuccessorPredictor::Mode::kProgramUser)});
-  entries.push_back({"LRU (no prefetch)",
-                     std::make_unique<NoopPredictor>()});
 
   ReplayConfig rc;
   rc.cache_capacity = capacity;
@@ -78,9 +59,11 @@ int main(int argc, char** argv) {
 
   Table table({"algorithm", "hit ratio", "accuracy", "pollution",
                "footprint"});
-  for (auto& e : entries) {
-    const auto r = replay_trace(trace, *e.predictor, rc);
-    table.add_row({e.name, fmt_double(r.hit_ratio() * 100, 2) + "%",
+  for (const std::string& name : registered_predictors()) {
+    const auto predictor = build(name);
+    const auto r = replay_trace(trace, *predictor, rc);
+    table.add_row({name + " (" + predictor->name() + ")",
+                   fmt_double(r.hit_ratio() * 100, 2) + "%",
                    fmt_double(r.prefetch_accuracy() * 100, 2) + "%",
                    fmt_double(r.cache.pollution_ratio() * 100, 2) + "%",
                    fmt_bytes(r.predictor_footprint)});
@@ -94,16 +77,8 @@ int main(int argc, char** argv) {
   ClusterConfig cc;
   cc.mds.cache_capacity = capacity;
   cc.mds.prefetch_degree = kDefaultPrefetchDegree;
-  for (const auto& name : {std::string("FPA"), std::string("Nexus"),
-                           std::string("LRU (no prefetch)")}) {
-    std::unique_ptr<Predictor> p;
-    if (name == "FPA")
-      p = std::make_unique<FpaPredictor>(
-          make_miner("farmer", fpa_cfg, trace.dict));
-    else if (name == "Nexus")
-      p = std::make_unique<NexusPredictor>();
-    else
-      p = std::make_unique<NoopPredictor>();
+  for (const std::string& name : {"fpa", "nexus", "none"}) {
+    const auto p = build(name);
     const auto m = run_cluster(trace, *p, cc);
     rt.add_row({name, fmt_double(m.mean_response_ms(), 3) + " ms",
                 fmt_double(static_cast<double>(m.response.p95()) / 1000.0, 3) +

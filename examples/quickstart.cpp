@@ -2,19 +2,21 @@
 // the Correlator Lists FARMER produces.
 //
 //   ./quickstart [seed] [backend]
-//   ./quickstart --list-backends     # registered factory names, one/line
+//   ./quickstart --list-backends     # registered miner names, one/line
+//   ./quickstart --list-predictors   # registered predictor names, one/line
 //
 // Walks through the full public API surface in ~60 lines: generate a trace,
 // build a validated configuration, construct a mining backend through the
-// factory, ingest the stream, query correlations. `--list-backends` prints
-// the factory registry so scripts (CI's smoke loop) can exercise every
-// backend without hand-maintaining the list.
+// factory, ingest the stream, query correlations. The --list flags print
+// the factory registries so scripts (CI's smoke loops) can exercise every
+// backend and predictor without hand-maintaining the lists.
 #include <cstdlib>
 #include <cstring>
 #include <iostream>
 
 #include "analysis/table.hpp"
 #include "api/miner_factory.hpp"
+#include "api/predictor_factory.hpp"
 #include "common/stats.hpp"
 #include "trace/generator.hpp"
 
@@ -22,6 +24,11 @@ int main(int argc, char** argv) {
   using namespace farmer;
   if (argc > 1 && std::strcmp(argv[1], "--list-backends") == 0) {
     for (const std::string& name : registered_miners())
+      std::cout << name << "\n";
+    return 0;
+  }
+  if (argc > 1 && std::strcmp(argv[1], "--list-predictors") == 0) {
+    for (const std::string& name : registered_predictors())
       std::cout << name << "\n";
     return 0;
   }

@@ -15,6 +15,11 @@ Usage:
     build/bench_ingest_throughput --json | scripts/bench_to_json.py -
     build/bench_micro --json | scripts/bench_to_json.py --google-benchmark -
 
+    # Merge one bench's tables into an existing multi-bench baseline
+    # (replaces same-named tables in place, appends new ones):
+    scripts/bench_to_json.py --run build/bench_serving \
+        --merge-into BENCH_ingest.json
+
 Exit status: 0 on valid output, 2 on malformed/empty JSON or a failed run.
 Stdlib only — no pip dependencies.
 """
@@ -113,7 +118,16 @@ def main() -> int:
         help="write the validated document, pretty-printed (the committed "
         "baseline format); omit to validate only",
     )
+    parser.add_argument(
+        "--merge-into",
+        metavar="PATH",
+        help="merge the validated document's tables into the existing "
+        "baseline at PATH (same-named tables replaced in place, new "
+        "tables appended) and rewrite it; table schema only",
+    )
     args = parser.parse_args()
+    if args.merge_into and args.google_benchmark:
+        fail("--merge-into only applies to the table schema")
 
     if args.run:
         cmd = [args.run, "--json", *args.extra_arg]
@@ -148,7 +162,30 @@ def main() -> int:
     else:
         validate_table_document(doc)
 
-    if args.out:
+    if args.merge_into:
+        try:
+            with open(args.merge_into, "r", encoding="utf-8") as f:
+                base = json.load(f)
+        except OSError as e:
+            fail(f"cannot read {args.merge_into}: {e}")
+        except json.JSONDecodeError as e:
+            fail(f"malformed JSON in {args.merge_into}: {e}")
+        validate_table_document(base)
+        by_name = {t["name"]: i for i, t in enumerate(base["tables"])}
+        for table in doc["tables"]:
+            if table["name"] in by_name:
+                base["tables"][by_name[table["name"]]] = table
+            else:
+                base["tables"].append(table)
+        with open(args.merge_into, "w", encoding="utf-8") as f:
+            json.dump(base, f, indent=2, sort_keys=False)
+            f.write("\n")
+        names = ", ".join(t["name"] for t in doc["tables"])
+        print(
+            f"bench_to_json: merged [{names}] into {args.merge_into}",
+            file=sys.stderr,
+        )
+    elif args.out:
         with open(args.out, "w", encoding="utf-8") as f:
             json.dump(doc, f, indent=2, sort_keys=False)
             f.write("\n")

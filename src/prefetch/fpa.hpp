@@ -93,10 +93,13 @@ class FpaPredictor final : public Predictor {
 
   [[nodiscard]] const char* name() const noexcept override { return "FPA"; }
   [[nodiscard]] std::size_t footprint_bytes() const override {
-    return miner_->footprint_bytes();
+    return sizeof(*this) + miner_->footprint_bytes();
   }
   [[nodiscard]] const CorrelationMiner& model() const noexcept {
     return *miner_;
+  }
+  [[nodiscard]] CorrelationMiner* miner() noexcept override {
+    return miner_.get();
   }
 
  private:

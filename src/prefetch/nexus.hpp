@@ -41,8 +41,10 @@ class NexusPredictor final : public Predictor {
                PredictionList& out) override;
 
   [[nodiscard]] const char* name() const noexcept override { return "Nexus"; }
+  /// Graph plus the look-ahead window and config the predictor carries —
+  /// the whole model state, so Table-4 accounting never under-reports.
   [[nodiscard]] std::size_t footprint_bytes() const override {
-    return graph_.footprint_bytes();
+    return sizeof(*this) + graph_.footprint_bytes();
   }
   [[nodiscard]] const CorrelationGraph& graph() const noexcept {
     return graph_;

@@ -17,6 +17,8 @@
 
 namespace farmer {
 
+class CorrelationMiner;
+
 /// Bounded candidate list, best first.
 using PredictionList = SmallVector<FileId, 8>;
 
@@ -42,8 +44,24 @@ class Predictor {
 
   [[nodiscard]] virtual const char* name() const noexcept = 0;
 
-  /// Memory the predictor holds (Table 4-style accounting). Optional.
+  /// Memory the predictor holds (Table 4-style accounting). Every real
+  /// predictor must report its actual state — graphs, windows, successor
+  /// tables, an owned miner — so the serving harness's per-window memory
+  /// column and the Table-4 comparison stay honest. The default 0 is for
+  /// genuinely stateless predictors (NoopPredictor) only.
   [[nodiscard]] virtual std::size_t footprint_bytes() const { return 0; }
+
+  /// The mining backend this predictor learns through, when it has one
+  /// (FPA); nullptr for self-contained baselines. The serving harness
+  /// samples stats()/footprint through it for the per-window ingest-lag /
+  /// epoch-staleness columns, and drives save()/load() through it for the
+  /// checkpoint-restore scenarios, without knowing the concrete predictor
+  /// type. The miner stays owned by the predictor; the pointer is valid
+  /// for the predictor's lifetime.
+  [[nodiscard]] virtual CorrelationMiner* miner() noexcept { return nullptr; }
+  [[nodiscard]] const CorrelationMiner* miner() const noexcept {
+    return const_cast<Predictor*>(this)->miner();
+  }
 };
 
 /// The no-prefetch predictor (the "LRU" configuration of the paper: plain

@@ -31,8 +31,9 @@ class ProbabilityGraphPredictor final : public Predictor {
   [[nodiscard]] const char* name() const noexcept override {
     return "ProbGraph";
   }
+  /// Graph plus the look-ahead window and config the predictor carries.
   [[nodiscard]] std::size_t footprint_bytes() const override {
-    return graph_.footprint_bytes();
+    return sizeof(*this) + graph_.footprint_bytes();
   }
 
  private:

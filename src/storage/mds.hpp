@@ -52,6 +52,12 @@ class MdsServer {
   /// arriving now. `respond` fires when the reply leaves the MDS.
   void handle_demand(const TraceRecord& rec, ResponseFn respond);
 
+  /// Drops `f` from the cache if resident (metadata changed under the MDS:
+  /// file deleted/recreated — the serving harness's population-churn
+  /// events). A fetch already in flight is unaffected: its completion
+  /// re-inserts the entry, modelling the post-change re-fetch.
+  void invalidate(FileId f) { cache_.erase(f); }
+
   [[nodiscard]] const MetadataCache& cache() const noexcept { return cache_; }
   [[nodiscard]] const ServiceStation& disk() const noexcept { return disk_; }
   [[nodiscard]] const BTreeStore& metadata_table() const noexcept {
